@@ -1,0 +1,30 @@
+//! End-to-end benchmark: one full streaming session including VQM scoring
+//! — the unit of work every figure sweep repeats dozens of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsv_core::prelude::*;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("qbone_lost_1500k_full_run", |b| {
+        let cfg = QboneConfig::new(
+            ClipId2::Lost,
+            1_500_000,
+            EfProfile::new(1_700_000, DEPTH_2MTU),
+        );
+        b.iter(|| black_box(run_qbone(&cfg).quality));
+    });
+    g.bench_function("local_udp_full_run", |b| {
+        let cfg = LocalConfig::new(
+            ClipId2::Lost,
+            EfProfile::new(1_400_000, DEPTH_3MTU),
+            LocalTransport::Udp,
+        );
+        b.iter(|| black_box(run_local(&cfg).quality));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the discrete-event engine: raw queue churn and a
+//! small closed-loop network simulation (events per second is the budget
+//! every experiment spends).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dsv_net::prelude::*;
+use dsv_sim::{EventQueue, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("schedule_pop_churn", |b| {
+        let mut q = EventQueue::new();
+        // Keep a standing population of 1024 events.
+        for i in 0..1024u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        b.iter(|| {
+            let (t, v) = q.pop().expect("population maintained");
+            q.schedule(t + SimDuration::from_micros(1 + v % 7), v);
+            black_box(v);
+        });
+    });
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.sample_size(20);
+    g.bench_function("cbr_through_router_1s", |b| {
+        b.iter(|| {
+            let mut builder = NetworkBuilder::<()>::new();
+            let sink = builder.add_host("sink", Box::new(CountingSink::default()));
+            let r = builder.add_router("r");
+            let src = builder.add_host(
+                "src",
+                Box::new(CbrSource {
+                    dst: sink,
+                    flow: FlowId(1),
+                    packet_size: 1500,
+                    rate_bps: 8_000_000,
+                    dscp: Dscp::BEST_EFFORT,
+                    stop_at: SimTime::from_secs(1),
+                }),
+            );
+            builder.connect(src, r, Link::fast_ethernet());
+            builder.connect(r, sink, Link::fast_ethernet());
+            let mut sim = Simulation::new(builder.build());
+            let stats = sim.run();
+            black_box(stats.dispatched)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_network);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the media substrate: encoder models, decode
+//! dependency resolution, rasterization and pixel feature extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsv_media::decoder::decodable_frames;
+use dsv_media::encoder::{mpeg1, wmv};
+use dsv_media::scene::ClipId;
+use dsv_media::yuv::Rasterizer;
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoders");
+    g.sample_size(30);
+    let model = ClipId::Lost.model();
+    g.bench_function("mpeg1_encode_lost", |b| {
+        b.iter(|| black_box(mpeg1::encode(&model, 1_500_000).total_bytes()));
+    });
+    g.bench_function("wmv_encode_lost", |b| {
+        b.iter(|| black_box(wmv::encode(&model, wmv::PAPER_CAP_BPS).total_bytes()));
+    });
+    g.bench_function("source_features_lost", |b| {
+        b.iter(|| black_box(model.source_features().len()));
+    });
+    g.finish();
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoder");
+    let clip = mpeg1::encode(&ClipId::Lost.model(), 1_500_000);
+    let received: Vec<bool> = (0..clip.frames.len()).map(|i| i % 17 != 3).collect();
+    g.bench_function("gop_dependency_full_clip", |b| {
+        b.iter(|| black_box(decodable_frames(&clip.frames, &received)));
+    });
+    g.finish();
+}
+
+fn bench_rasterizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rasterizer");
+    g.sample_size(30);
+    let model = ClipId::Lost.model();
+    g.bench_function("render_320x240", |b| {
+        let r = Rasterizer::new(&model, 320, 240);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 2150;
+            black_box(r.render(i).mean_luma())
+        });
+    });
+    g.bench_function("si_extraction_320x240", |b| {
+        let r = Rasterizer::new(&model, 320, 240);
+        let f = r.render(10);
+        b.iter(|| black_box(f.si()));
+    });
+    g.bench_function("ti_extraction_320x240", |b| {
+        let r = Rasterizer::new(&model, 320, 240);
+        let a = r.render(10);
+        let bb = r.render(11);
+        b.iter(|| black_box(bb.ti(&a)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoders, bench_decoder, bench_rasterizer);
+criterion_main!(benches);

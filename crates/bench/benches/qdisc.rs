@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the queueing disciplines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dsv_net::packet::{Dscp, FlowId, NodeId, Packet, PacketId, Proto};
+use dsv_net::qdisc::{DropTailQueue, Qdisc, QueueLimits, StrictPriorityQueue};
+use dsv_sim::SimTime;
+
+fn pkt(id: u64, dscp: Dscp) -> Packet<()> {
+    Packet {
+        id: PacketId(id),
+        flow: FlowId(1),
+        src: NodeId(0),
+        dst: NodeId(1),
+        size: 1500,
+        dscp,
+        proto: Proto::Udp,
+        fragment: None,
+        sent_at: SimTime::ZERO,
+        payload: (),
+    }
+}
+
+fn bench_qdisc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("droptail_enqueue_dequeue", |b| {
+        let mut q = DropTailQueue::new(QueueLimits::packets(1024));
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let _ = q.enqueue(pkt(id, Dscp::BEST_EFFORT));
+            black_box(q.dequeue());
+        });
+    });
+    g.bench_function("priority_mixed_traffic", |b| {
+        let mut q: StrictPriorityQueue<()> = StrictPriorityQueue::ef_default(
+            QueueLimits::packets(1024),
+            QueueLimits::packets(1024),
+        );
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let dscp = if id % 3 == 0 { Dscp::EF } else { Dscp::BEST_EFFORT };
+            let _ = q.enqueue(pkt(id, dscp));
+            black_box(q.dequeue());
+        });
+    });
+    g.bench_function("priority_enqueue_burst_drain", |b| {
+        b.iter(|| {
+            let mut q: StrictPriorityQueue<()> = StrictPriorityQueue::ef_default(
+                QueueLimits::packets(256),
+                QueueLimits::packets(256),
+            );
+            for id in 0..128 {
+                let dscp = if id % 2 == 0 { Dscp::EF } else { Dscp::BEST_EFFORT };
+                let _ = q.enqueue(pkt(id, dscp));
+            }
+            while let Some(p) = q.dequeue() {
+                black_box(p.id);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qdisc);
+criterion_main!(benches);

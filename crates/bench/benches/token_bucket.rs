@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the conditioning primitives: token bucket, policer,
+//! shaper, and the three-color meters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dsv_diffserv::meter::{SrTcm, TrTcm};
+use dsv_diffserv::policer::Policer;
+use dsv_diffserv::shaper::{Shaper, ShaperResult};
+use dsv_diffserv::token_bucket::TokenBucket;
+use dsv_net::packet::{Dscp, FlowId, NodeId, Packet, PacketId, Proto};
+use dsv_sim::SimTime;
+
+fn pkt(id: u64) -> Packet<()> {
+    Packet {
+        id: PacketId(id),
+        flow: FlowId(1),
+        src: NodeId(0),
+        dst: NodeId(1),
+        size: 1500,
+        dscp: Dscp::BEST_EFFORT,
+        proto: Proto::Udp,
+        fragment: None,
+        sent_at: SimTime::ZERO,
+        payload: (),
+    }
+}
+
+fn bench_token_bucket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_bucket");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("try_consume_conformant", |b| {
+        let mut tb = TokenBucket::new(1_000_000_000, 1_000_000);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 12_000; // exactly refills 1500 B at 1 Gbps
+            black_box(tb.try_consume(SimTime::from_nanos(t), 1500))
+        });
+    });
+    g.bench_function("try_consume_starved", |b| {
+        let mut tb = TokenBucket::new(1_000, 1500);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(tb.try_consume(SimTime::from_nanos(t), 1500))
+        });
+    });
+    g.bench_function("conformance_time", |b| {
+        let mut tb = TokenBucket::new(1_700_000, 3000);
+        tb.try_consume(SimTime::ZERO, 3000);
+        b.iter(|| black_box(tb.conformance_time(SimTime::from_micros(1), 1500)));
+    });
+    g.finish();
+}
+
+fn bench_policer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policer");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ef_drop_mixed", |b| {
+        let mut p = Policer::ef_drop(12_000_000, 3000);
+        let mut t = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            t += 500_000; // 0.5 ms -> 750 B of credit: alternating verdicts
+            id += 1;
+            black_box(p.police(SimTime::from_nanos(t), pkt(id)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_shaper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shaper");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("offer_and_release", |b| {
+        let mut s: Shaper<()> = Shaper::new(100_000_000, 3000, 10_000_000);
+        let mut t = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            t += 60_000;
+            id += 1;
+            match s.offer(SimTime::from_nanos(t), pkt(id)) {
+                ShaperResult::Queued { next_release } => {
+                    let (out, _) = s.pop_ready(next_release);
+                    black_box(out.len());
+                }
+                other => {
+                    black_box(&other);
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_meters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meters");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("srtcm", |b| {
+        let mut m = SrTcm::new(10_000_000, 3000, 6000);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100_000;
+            black_box(m.meter(SimTime::from_nanos(t), 1500))
+        });
+    });
+    g.bench_function("trtcm", |b| {
+        let mut m = TrTcm::new(20_000_000, 6000, 10_000_000, 3000);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100_000;
+            black_box(m.meter(SimTime::from_nanos(t), 1500))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_token_bucket,
+    bench_policer,
+    bench_shaper,
+    bench_meters
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the quality-measurement pipeline: full-clip
+//! scoring, temporal calibration, and parameter extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsv_media::features::{displayed_stream, FeatureFrame};
+use dsv_media::scene::ClipId;
+use dsv_vqm::calibration::align;
+use dsv_vqm::params::extract;
+use dsv_vqm::Vqm;
+
+fn reference() -> Vec<FeatureFrame> {
+    ClipId::Lost.model().source_features()
+}
+
+fn impaired(reference: &[FeatureFrame]) -> Vec<FeatureFrame> {
+    let displayed: Vec<u32> = (0..reference.len() as u32)
+        .map(|i| if i % 13 == 5 && i > 0 { i - 1 } else { i })
+        .collect();
+    displayed_stream(reference, &displayed)
+}
+
+fn bench_vqm(c: &mut Criterion) {
+    let r = reference();
+    let x = impaired(&r);
+    let mut g = c.benchmark_group("vqm");
+    g.sample_size(30);
+    g.bench_function("score_full_lost_clip", |b| {
+        let vqm = Vqm::default();
+        b.iter(|| black_box(vqm.score_streams(&r, &x).overall));
+    });
+    g.bench_function("temporal_calibration_one_segment", |b| {
+        let ref_ti: Vec<f64> = r.iter().map(|f| f.ti).collect();
+        let rec_ti: Vec<f64> = x.iter().map(|f| f.ti).collect();
+        b.iter(|| black_box(align(&rec_ti[300..400], &ref_ti, 300, 100, 0.35)));
+    });
+    g.bench_function("parameter_extraction_100_frames", |b| {
+        b.iter(|| black_box(extract(&r[300..400], &x[300..400])));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vqm);
+criterion_main!(benches);

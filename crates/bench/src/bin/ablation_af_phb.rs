@@ -1,0 +1,4 @@
+//! Ablation: the AF PHB experiment the paper ran but excluded (§2.1).
+fn main() {
+    dsv_bench::figures::ablation_af_phb();
+}

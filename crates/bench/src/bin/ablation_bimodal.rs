@@ -1,0 +1,4 @@
+//! Ablation: large-datagram (NetShow-style) server bi-modality (paper §4).
+fn main() {
+    dsv_bench::figures::ablation_bimodal();
+}

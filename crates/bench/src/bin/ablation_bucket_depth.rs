@@ -1,0 +1,4 @@
+//! Ablation: fine bucket-depth sweep (1-4 MTU) at a near-average token rate.
+fn main() {
+    dsv_bench::figures::ablation_bucket_depth();
+}

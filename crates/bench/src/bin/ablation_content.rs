@@ -1,0 +1,4 @@
+//! Ablation: content dependence of the quality-vs-rate relation.
+fn main() {
+    dsv_bench::figures::ablation_content();
+}

@@ -1,0 +1,4 @@
+//! Ablation: the WMT adaptation death spiral under hard policing (paper §4).
+fn main() {
+    dsv_bench::figures::ablation_death_spiral();
+}

@@ -1,0 +1,4 @@
+//! Ablation: EF delay/jitter accumulation across multiple hops.
+fn main() {
+    dsv_bench::figures::ablation_hop_jitter();
+}

@@ -1,0 +1,5 @@
+//! Ablation: multi-rate encoding selection (the paper's "future MPEG
+//! servers") vs a fixed high-rate encoding.
+fn main() {
+    dsv_bench::figures::ablation_multirate();
+}

@@ -1,0 +1,4 @@
+//! Ablation: shaping vs policing at identical token-bucket profiles.
+fn main() {
+    dsv_bench::figures::ablation_shape_vs_drop();
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Figure 6 (instantaneous transmission rates of the
+//! MPEG-1 clips at all three encodings).
+fn main() {
+    dsv_bench::figures::fig06();
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Figures 7-9 (QBone, clip Lost at 1.7/1.5/1.0 Mbps:
+//! video quality and frame loss vs token rate, depths 3000 and 4500).
+fn main() {
+    dsv_bench::figures::fig07_09();
+}

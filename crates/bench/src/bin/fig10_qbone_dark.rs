@@ -1,0 +1,5 @@
+//! Regenerates paper Figures 10-12 (QBone, clip Dark at 1.7/1.5/1.0 Mbps:
+//! video quality and frame loss vs token rate, depths 3000 and 4500).
+fn main() {
+    dsv_bench::figures::fig10_12();
+}

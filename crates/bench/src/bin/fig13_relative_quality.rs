@@ -1,0 +1,5 @@
+//! Regenerates the paper's second QBone experiment set: quality vs token
+//! rate with the 1.7 Mbps encoding as the common reference.
+fn main() {
+    dsv_bench::figures::fig13_relative();
+}

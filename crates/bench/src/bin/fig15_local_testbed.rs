@@ -1,0 +1,5 @@
+//! Regenerates the local-testbed figures (WMT-style server over UDP
+//! unshaped / UDP shaped / TCP; both bucket depths).
+fn main() {
+    dsv_bench::figures::fig15_local();
+}

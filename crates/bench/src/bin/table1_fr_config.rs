@@ -1,0 +1,4 @@
+//! Regenerates paper Table 1 (Frame-Relay interface configuration).
+fn main() {
+    dsv_bench::figures::table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 2 (MPEG encoding properties of Lost and Dark).
+fn main() {
+    dsv_bench::figures::table2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 3 (Windows Media encoded clip properties).
+fn main() {
+    dsv_bench::figures::table3();
+}

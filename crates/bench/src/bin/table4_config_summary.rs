@@ -1,0 +1,4 @@
+//! Regenerates paper Table 4 (summary of experimental configurations).
+fn main() {
+    dsv_bench::figures::table4();
+}

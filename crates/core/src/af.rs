@@ -1,0 +1,217 @@
+//! The Assured-Forwarding experiment the paper ran but did not report.
+//!
+//! "Some preliminary experiments were conducted using the AF PHB that are
+//! not reported in this paper, as the results were heavily dependent on
+//! the level of cross traffic and its impact on the performance given to
+//! marked packets" (§2.1). This module rebuilds that experiment so the
+//! claim itself becomes measurable: the video stream is srTCM-metered into
+//! AF green/yellow/red at the edge and shares a WRED-managed bottleneck
+//! with colored cross traffic; unlike EF's strict isolation, the video's
+//! quality now moves with the background load.
+
+use dsv_diffserv::classifier::MatchRule;
+use dsv_diffserv::meter::SrTcm;
+use dsv_diffserv::policy::{PolicyAction, PolicyTable};
+use dsv_media::encoder::mpeg1;
+use dsv_media::scene::ClipId;
+use dsv_net::app::Shared;
+use dsv_net::link::Link;
+use dsv_net::network::{NetworkBuilder, Simulation};
+use dsv_net::packet::{Dscp, FlowId, NodeId};
+use dsv_net::qdisc::{DropTailQueue, QueueLimits};
+use dsv_net::traffic::{CountingSink, OnOffSource};
+use dsv_net::wred::WredQueue;
+use dsv_sim::{SimDuration, SimRng, SimTime};
+use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
+use dsv_stream::payload::StreamPayload;
+use dsv_stream::playback::PlaybackConfig;
+use dsv_stream::server::paced::{PacedConfig, PacedServer};
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{run_horizon, score_run, RunOutcome};
+use crate::qbone::ClipId2;
+
+/// Flow id of the media stream.
+pub const MEDIA_FLOW: FlowId = FlowId(1);
+/// Flow id of client→server control traffic.
+pub const UP_FLOW: FlowId = FlowId(2);
+/// Flow id of the colored cross traffic.
+pub const CT_FLOW: FlowId = FlowId(100);
+
+/// Configuration of one AF run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AfConfig {
+    /// Which clip to stream.
+    pub clip: ClipId2,
+    /// MPEG-1 CBR encoding rate.
+    pub encoding_bps: u64,
+    /// srTCM committed rate for the video's AF profile.
+    pub cir_bps: u64,
+    /// srTCM committed burst (bytes).
+    pub cbs_bytes: u32,
+    /// srTCM excess burst (bytes).
+    pub ebs_bytes: u32,
+    /// Mean rate of the competing cross traffic.
+    pub cross_load_bps: u64,
+    /// Committed (green) rate of the cross traffic's own AF profile —
+    /// in-profile background competes with the video's green packets,
+    /// which is exactly the sensitivity that made the paper drop its AF
+    /// results.
+    pub cross_cir_bps: u64,
+    /// Bottleneck link rate shared by video and cross traffic.
+    pub bottleneck_bps: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl AfConfig {
+    /// A standard AF run: Lost @1.5 Mbps, CIR = 1.1× the encoding,
+    /// sharing a 6 Mbps bottleneck with the given cross load.
+    pub fn new(clip: ClipId2, encoding_bps: u64, cross_load_bps: u64) -> AfConfig {
+        AfConfig {
+            clip,
+            encoding_bps,
+            cir_bps: (encoding_bps as f64 * 1.1) as u64,
+            cbs_bytes: 9_000,
+            ebs_bytes: 9_000,
+            cross_load_bps,
+            cross_cir_bps: cross_load_bps / 2,
+            bottleneck_bps: 6_000_000,
+            seed: 23,
+        }
+    }
+}
+
+/// Run one AF streaming session and score it.
+pub fn run_af(cfg: &AfConfig) -> RunOutcome {
+    let clip_id: ClipId = cfg.clip.into();
+    let model = clip_id.model();
+    let clip = mpeg1::encode(&model, cfg.encoding_bps);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+
+    let mut b = NetworkBuilder::<StreamPayload>::new();
+    let server_id = NodeId(3);
+    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
+        server: server_id,
+        up_flow: UP_FLOW,
+        frames: clip.frames.len() as u32,
+        kind_fn: mpeg1::frame_kind,
+        playback: PlaybackConfig::default(),
+        feedback_interval: None,
+        mode: ClientMode::Udp,
+    }));
+    let client = b.add_host("client", Box::new(client_app));
+    let egress = b.add_router("egress");
+    let edge = b.add_router("edge");
+    let server = b.add_host(
+        "video-server",
+        Box::new(PacedServer::new(
+            PacedConfig::new(client, MEDIA_FLOW, Dscp::BEST_EFFORT),
+            &clip,
+        )),
+    );
+    assert_eq!(server, server_id, "node creation order changed");
+
+    b.connect(server, edge, Link::fast_ethernet());
+    b.connect(client, egress, Link::ethernet_10mbps());
+
+    // The shared bottleneck with a WRED-managed buffer.
+    let bottleneck = Link::new(cfg.bottleneck_bps, SimDuration::from_millis(5));
+    b.connect_with(
+        edge,
+        egress,
+        bottleneck,
+        bottleneck,
+        Box::new(WredQueue::af_default(120_000, cfg.seed ^ 0xAF)),
+        Box::new(DropTailQueue::new(QueueLimits::UNBOUNDED)),
+    );
+
+    // Edge conditioning: srTCM-color the video into AF class 1, and give
+    // the cross traffic its own profile in the same class (other
+    // customers' in-profile traffic shares the green pool).
+    let table = PolicyTable::new()
+        .with(
+            MatchRule::src_dst(server, client),
+            PolicyAction::MeterAf {
+                meter: SrTcm::new(cfg.cir_bps, cfg.cbs_bytes, cfg.ebs_bytes),
+                class: 1,
+            },
+        )
+        .with(
+            MatchRule {
+                flow: Some(CT_FLOW),
+                ..MatchRule::ANY
+            },
+            PolicyAction::MeterAf {
+                meter: SrTcm::new(cfg.cross_cir_bps.max(1), 30_000, 30_000),
+                class: 1,
+            },
+        );
+    b.set_conditioner(edge, Box::new(table));
+
+    // Cross traffic entering at the edge (where its own profile colors
+    // it) and sharing the bottleneck.
+    if cfg.cross_load_bps > 0 {
+        let ct_sink = b.add_host("ct-sink", Box::new(CountingSink::default()));
+        b.connect(ct_sink, egress, Link::fast_ethernet());
+        let ct_src = b.add_host(
+            "ct-src",
+            Box::new(OnOffSource::new(
+                ct_sink,
+                CT_FLOW,
+                1200,
+                cfg.cross_load_bps * 2, // 50 % duty cycle → mean = load
+                SimDuration::from_millis(150),
+                SimDuration::from_millis(150),
+                Dscp::BEST_EFFORT,
+                SimTime::from_secs(220),
+                rng.fork(5),
+            )),
+        );
+        b.connect(ct_src, edge, Link::fast_ethernet());
+    }
+
+    let mut sim = Simulation::new(b.build());
+    sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+
+    let report = client_handle.borrow().report();
+    let media = sim.net.stats.flow(MEDIA_FLOW);
+    let (same, _) = score_run(&model, &clip, &report, None);
+    RunOutcome::assemble(&report, &media, &same, None, 0, 0, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_af_delivers_good_quality() {
+        let out = run_af(&AfConfig::new(ClipId2::Lost, 1_500_000, 0));
+        assert!(out.quality < 0.1, "quality {}", out.quality);
+        assert!(out.frame_loss < 0.02, "loss {}", out.frame_loss);
+    }
+
+    #[test]
+    fn af_quality_depends_on_cross_traffic() {
+        // The reason the paper excluded its AF results: with EF the
+        // stream is isolated by strict priority; with AF it shares the
+        // WRED buffer and heavy background load leaks into the green
+        // traffic.
+        let light = run_af(&AfConfig::new(ClipId2::Lost, 1_500_000, 1_000_000));
+        let mut heavy_cfg = AfConfig::new(ClipId2::Lost, 1_500_000, 7_000_000);
+        heavy_cfg.cross_cir_bps = 5_000_000; // mostly in-profile background
+        let heavy = run_af(&heavy_cfg);
+        assert!(
+            heavy.quality > light.quality + 0.1,
+            "heavy load {:.3} should hurt vs light {:.3}",
+            heavy.quality,
+            light.quality
+        );
+    }
+
+    #[test]
+    fn af_runs_are_deterministic() {
+        let cfg = AfConfig::new(ClipId2::Lost, 1_500_000, 3_000_000);
+        assert_eq!(run_af(&cfg).quality, run_af(&cfg).quality);
+    }
+}

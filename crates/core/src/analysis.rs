@@ -1,0 +1,140 @@
+//! Curve analysis: the quantities the paper reads off its figures.
+//!
+//! The paper's conclusions are about curve *shape*: where the quality
+//! cutoff sits relative to the encoding's average/maximum rate, how far
+//! apart the two bucket-depth curves are, and how decoupled quality is
+//! from frame loss. These helpers extract those quantities from sweep
+//! curves so that calibration tests and EXPERIMENTS.md can assert them.
+
+/// Minimum token rate at which quality reaches `threshold` **and stays at
+/// or below it** for all sampled higher rates — the paper's "cutoff
+/// point". `curve` is `(rate, quality, …)` sorted by rate.
+pub fn cutoff_rate(curve: &[(u64, f64, f64)], threshold: f64) -> Option<u64> {
+    let mut candidate: Option<u64> = None;
+    for &(rate, quality, _) in curve {
+        if quality <= threshold {
+            candidate.get_or_insert(rate);
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+/// Interpolated token rate at which quality first crosses `threshold`
+/// going down (finer than [`cutoff_rate`] for coarse grids).
+pub fn crossing_rate(curve: &[(u64, f64, f64)], threshold: f64) -> Option<f64> {
+    for w in curve.windows(2) {
+        let (r0, q0, _) = w[0];
+        let (r1, q1, _) = w[1];
+        if q0 > threshold && q1 <= threshold {
+            let t = (q0 - threshold) / (q0 - q1);
+            return Some(r0 as f64 + t * (r1 - r0) as f64);
+        }
+    }
+    curve
+        .first()
+        .filter(|&&(_, q, _)| q <= threshold)
+        .map(|&(r, _, _)| r as f64)
+}
+
+/// Largest quality improvement per unit of frame-loss improvement across
+/// adjacent samples — evidence of the quality/loss decoupling (a large
+/// value means a small loss change produced a big quality change).
+pub fn max_quality_per_loss_slope(curve: &[(u64, f64, f64)]) -> f64 {
+    let mut best: f64 = 0.0;
+    for w in curve.windows(2) {
+        let dq = w[0].1 - w[1].1; // quality improvement
+        let dl = w[0].2 - w[1].2; // loss improvement
+        if dq > 0.0 && dl > 1e-6 {
+            best = best.max(dq / dl);
+        }
+    }
+    best
+}
+
+/// Is the curve non-increasing within `tolerance` (quality never gets
+/// *meaningfully* worse as the rate grows)? The paper notes small
+/// non-monotonicities are expected run-to-run noise.
+pub fn mostly_monotone_decreasing(curve: &[(u64, f64, f64)], tolerance: f64) -> bool {
+    curve.windows(2).all(|w| w[1].1 <= w[0].1 + tolerance)
+}
+
+/// Area under the quality curve (lower = better service across the sweep);
+/// used to compare bucket depths: the 4500-byte curve should dominate.
+pub fn quality_area(curve: &[(u64, f64, f64)]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| {
+            let dr = (w[1].0 - w[0].0) as f64;
+            dr * (w[0].1 + w[1].1) / 2.0
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<(u64, f64, f64)> {
+        vec![
+            (900, 0.95, 0.60),
+            (1000, 0.90, 0.40),
+            (1100, 0.85, 0.20),
+            (1200, 0.40, 0.05),
+            (1300, 0.10, 0.02),
+            (1400, 0.02, 0.001),
+            (1500, 0.01, 0.0),
+        ]
+    }
+
+    #[test]
+    fn cutoff_finds_sustained_threshold() {
+        assert_eq!(cutoff_rate(&curve(), 0.15), Some(1300));
+        assert_eq!(cutoff_rate(&curve(), 0.05), Some(1400));
+        assert_eq!(cutoff_rate(&curve(), 0.001), None);
+    }
+
+    #[test]
+    fn cutoff_requires_staying_below() {
+        let bouncy = vec![(1, 0.1, 0.0), (2, 0.5, 0.0), (3, 0.05, 0.0)];
+        assert_eq!(cutoff_rate(&bouncy, 0.15), Some(3));
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let c = crossing_rate(&curve(), 0.5).unwrap();
+        // Between 1100 (0.85) and 1200 (0.40): 0.85->0.5 is 77.8% of step.
+        assert!((c - 1177.8).abs() < 1.0, "{c}");
+    }
+
+    #[test]
+    fn crossing_handles_already_below() {
+        let c = vec![(10, 0.05, 0.0), (20, 0.01, 0.0)];
+        assert_eq!(crossing_rate(&c, 0.5), Some(10.0));
+        let none = vec![(10, 0.9, 0.0), (20, 0.8, 0.0)];
+        assert_eq!(crossing_rate(&none, 0.5), None);
+    }
+
+    #[test]
+    fn decoupling_slope() {
+        // 1100->1200: dq = 0.45 for dl = 0.15 -> 3.0 quality per loss.
+        let s = max_quality_per_loss_slope(&curve());
+        assert!(s >= 3.0, "{s}");
+    }
+
+    #[test]
+    fn monotonicity_with_tolerance() {
+        assert!(mostly_monotone_decreasing(&curve(), 0.0));
+        let noisy = vec![(1, 0.5, 0.0), (2, 0.52, 0.0), (3, 0.1, 0.0)];
+        assert!(!mostly_monotone_decreasing(&noisy, 0.0));
+        assert!(mostly_monotone_decreasing(&noisy, 0.05));
+    }
+
+    #[test]
+    fn area_orders_curves() {
+        let better: Vec<(u64, f64, f64)> =
+            curve().iter().map(|&(r, q, l)| (r, q * 0.5, l)).collect();
+        assert!(quality_area(&better) < quality_area(&curve()));
+    }
+}

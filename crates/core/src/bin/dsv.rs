@@ -1,0 +1,156 @@
+//! `dsv` — command-line front end for single experiments.
+//!
+//! ```text
+//! dsv qbone --clip lost --encoding 1500000 --rate 1600000 --depth 3000 [--vs-best] [--cross-traffic] [--bursty|--multirate]
+//! dsv local --clip dark --rate 1300000 --depth 4500 [--tcp] [--shaped] [--cross-traffic] [--multi-rate-tiers]
+//! dsv af    --clip lost --encoding 1500000 --cross-load 5000000 [--cross-cir 3500000]
+//! ```
+//!
+//! Prints the run outcome as aligned text and, with `--json`, as a JSON
+//! object on stdout.
+
+use std::process::exit;
+
+use dsv_core::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dsv qbone --clip <lost|dark> --encoding <bps> --rate <bps> --depth <bytes> \\\n            [--vs-best] [--cross-traffic] [--bursty|--multirate] [--seed N] [--json]\n  dsv local --clip <lost|dark> --rate <bps> --depth <bytes> \\\n            [--tcp] [--shaped] [--cross-traffic] [--multi-rate-tiers] [--seed N] [--json]\n  dsv af    --clip <lost|dark> --encoding <bps> --cross-load <bps> [--cross-cir <bps>] [--json]"
+    );
+    exit(2)
+}
+
+struct Args {
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .position(|f| f == name)
+            .and_then(|i| self.flags.get(i + 1))
+            .map(|s| s.as_str())
+    }
+    fn u64_or(&self, name: &str, default: u64) -> u64 {
+        match self.value(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                usage()
+            }),
+        }
+    }
+    fn required_u64(&self, name: &str) -> u64 {
+        match self.value(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {v}");
+                usage()
+            }),
+            None => {
+                eprintln!("missing required option {name}");
+                usage()
+            }
+        }
+    }
+    fn clip(&self) -> ClipId2 {
+        match self.value("--clip") {
+            Some("lost") | None => ClipId2::Lost,
+            Some("dark") => ClipId2::Dark,
+            Some(other) => {
+                eprintln!("unknown clip {other}");
+                usage()
+            }
+        }
+    }
+}
+
+fn print_outcome(out: &RunOutcome, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(out).expect("serialize"));
+        return;
+    }
+    println!("quality (VQM, 0=best) : {:.3}", out.quality);
+    if let Some(q) = out.quality_vs_best {
+        println!("quality vs 1.7M ref   : {q:.3}");
+    }
+    println!("frame loss            : {:.2} %", 100.0 * out.frame_loss);
+    println!("packet loss           : {:.2} %", 100.0 * out.packet_loss);
+    println!("policer drops         : {}", out.policer_drops);
+    println!("queue drops           : {}", out.queue_drops);
+    println!("shaper drops          : {}", out.shaper_drops);
+    println!("packets delivered     : {}", out.rx_packets);
+    println!("mean delay            : {:.1} ms", out.mean_delay_ms);
+    println!("longest freeze        : {} frames", out.longest_freeze);
+    println!("failed VQM segments   : {}", out.failed_segments);
+    if out.collapses > 0 || out.broken {
+        println!("server collapses      : {} (broken: {})", out.collapses, out.broken);
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else { usage() };
+    let args = Args {
+        flags: argv.collect(),
+    };
+    let json = args.flag("--json");
+
+    let outcome = match cmd.as_str() {
+        "qbone" => {
+            let mut cfg = QboneConfig::new(
+                args.clip(),
+                args.required_u64("--encoding"),
+                EfProfile::new(
+                    args.required_u64("--rate"),
+                    args.required_u64("--depth") as u32,
+                ),
+            );
+            cfg.score_vs_best = args.flag("--vs-best");
+            cfg.cross_traffic = args.flag("--cross-traffic");
+            cfg.seed = args.u64_or("--seed", cfg.seed);
+            if args.flag("--bursty") {
+                cfg.server = QboneServer::Bursty;
+            } else if args.flag("--multirate") {
+                cfg.server = QboneServer::MultiRatePaced;
+            }
+            run_qbone(&cfg)
+        }
+        "local" => {
+            let transport = if args.flag("--tcp") {
+                LocalTransport::Tcp
+            } else {
+                LocalTransport::Udp
+            };
+            let mut cfg = LocalConfig::new(
+                args.clip(),
+                EfProfile::new(
+                    args.required_u64("--rate"),
+                    args.required_u64("--depth") as u32,
+                ),
+                transport,
+            );
+            cfg.shaped = args.flag("--shaped");
+            cfg.cross_traffic = args.flag("--cross-traffic");
+            cfg.multi_rate = args.flag("--multi-rate-tiers");
+            cfg.seed = args.u64_or("--seed", cfg.seed);
+            run_local(&cfg)
+        }
+        "af" => {
+            let mut cfg = AfConfig::new(
+                args.clip(),
+                args.required_u64("--encoding"),
+                args.required_u64("--cross-load"),
+            );
+            if let Some(_v) = args.value("--cross-cir") {
+                cfg.cross_cir_bps = args.required_u64("--cross-cir");
+            }
+            run_af(&cfg)
+        }
+        _ => usage(),
+    };
+    print_outcome(&outcome, json);
+}

@@ -1,0 +1,301 @@
+//! The QBone testbed (paper §3.2.2, Figure 5).
+//!
+//! A Video-Charger-style paced server at a remote site streams MPEG-1 over
+//! UDP across a wide-area path to the local client. Packets leave the
+//! server already marked EF (code point 101100); the remote site's border
+//! router polices them with a CAR-style drop policer configured with the
+//! Abilene Premium Service profile (token rate, bucket depth). The
+//! backbone is lightly loaded and gives EF priority; optional background
+//! traffic exercises the priority queues without disturbing EF — matching
+//! the paper's observation that interfering traffic caused "only minor
+//! variations".
+
+
+use dsv_diffserv::classifier::MatchRule;
+use dsv_diffserv::policer::Policer;
+use dsv_diffserv::policy::{PolicyAction, PolicyTable};
+use dsv_media::encoder::mpeg1;
+use dsv_media::scene::ClipId;
+use dsv_net::app::Shared;
+use dsv_net::link::Link;
+use dsv_net::network::{NetworkBuilder, Simulation};
+use dsv_net::packet::{Dscp, FlowId, NodeId};
+use dsv_net::qdisc::{QueueLimits, StrictPriorityQueue};
+use dsv_net::traffic::{CountingSink, OnOffSource};
+use dsv_sim::{SimDuration, SimRng, SimTime};
+use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
+use dsv_stream::payload::StreamPayload;
+use dsv_stream::playback::PlaybackConfig;
+use dsv_stream::server::paced::{PacedConfig, PacedServer};
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{
+    encoded_features, run_horizon, score_run, EfProfile, RunOutcome,
+};
+
+/// Flow id of the media stream.
+pub const MEDIA_FLOW: FlowId = FlowId(1);
+/// Flow id of client→server control traffic.
+pub const UP_FLOW: FlowId = FlowId(2);
+/// Flow id of background cross traffic.
+pub const CT_FLOW: FlowId = FlowId(100);
+
+/// Configuration of one QBone run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QboneConfig {
+    /// Which clip to stream.
+    pub clip: ClipId2,
+    /// MPEG-1 CBR encoding rate (the paper's 1.0/1.5/1.7 Mbps).
+    pub encoding_bps: u64,
+    /// The APS profile at the ingress policer.
+    pub profile: EfProfile,
+    /// Add background best-effort traffic across the backbone.
+    pub cross_traffic: bool,
+    /// Also score against the 1.7 Mbps reference (paper's second set).
+    pub score_vs_best: bool,
+    /// Which server discipline streams the clip.
+    pub server: QboneServer,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+/// Server disciplines available on the QBone testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QboneServer {
+    /// Video-Charger-style paced small messages (the paper's main runs).
+    Paced,
+    /// NetShow-Theater-style large datagrams (the paper's "bi-modal"
+    /// servers, dropped early from its study for exactly that behaviour).
+    Bursty,
+    /// A paced server with multi-rate content that picks the highest
+    /// encoding fitting under the purchased token rate — the capability
+    /// the paper anticipated in "future MPEG servers" (§3.3.1). Tiers are
+    /// the paper's three encodings (1.0/1.5/1.7 Mbps).
+    MultiRatePaced,
+}
+
+/// Serializable mirror of [`ClipId`] (keeps `dsv-media` serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ClipId2 {
+    Lost,
+    Dark,
+    Talk,
+}
+
+impl From<ClipId2> for ClipId {
+    fn from(c: ClipId2) -> ClipId {
+        match c {
+            ClipId2::Lost => ClipId::Lost,
+            ClipId2::Dark => ClipId::Dark,
+            ClipId2::Talk => ClipId::Talk,
+        }
+    }
+}
+
+impl QboneConfig {
+    /// A standard run: Lost at 1.7 Mbps with the given profile.
+    pub fn new(clip: ClipId2, encoding_bps: u64, profile: EfProfile) -> QboneConfig {
+        QboneConfig {
+            clip,
+            encoding_bps,
+            profile,
+            cross_traffic: false,
+            score_vs_best: false,
+            server: QboneServer::Paced,
+            seed: 7,
+        }
+    }
+}
+
+/// Run one QBone streaming session and score it.
+pub fn run_qbone(cfg: &QboneConfig) -> RunOutcome {
+    run_qbone_detailed(cfg).0
+}
+
+/// Like [`run_qbone`], but also return the client's full report.
+pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client::ClientReport) {
+    let clip_id: ClipId = cfg.clip.into();
+    let model = clip_id.model();
+    let clip = mpeg1::encode(&model, cfg.encoding_bps);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+
+    let mut b = NetworkBuilder::<StreamPayload>::new();
+
+    // Hosts and routers. Ids are assigned in creation order.
+    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
+        server: NodeId(5), // the server is created sixth (index 5)
+        up_flow: UP_FLOW,
+        frames: clip.frames.len() as u32,
+        kind_fn: mpeg1::frame_kind,
+        playback: PlaybackConfig::default(),
+        feedback_interval: None,
+        mode: ClientMode::Udp,
+    }));
+    let client = b.add_host("client", Box::new(client_app));
+    let local_edge = b.add_router("local-edge");
+    let core2 = b.add_router("core2");
+    let core1 = b.add_router("core1");
+    let remote_edge = b.add_router("remote-edge");
+    let server_app: Box<dyn dsv_net::app::Application<StreamPayload>> = match cfg.server {
+        QboneServer::Paced => Box::new(PacedServer::new(
+            PacedConfig::new(client, MEDIA_FLOW, Dscp::EF_QBONE),
+            &clip,
+        )),
+        QboneServer::Bursty => Box::new(dsv_stream::server::bursty::BurstyServer::new(
+            dsv_stream::server::bursty::BurstyConfig {
+                client,
+                flow: MEDIA_FLOW,
+                dscp: Dscp::EF_QBONE,
+                wait_for_play: true,
+            },
+            &clip,
+        )),
+        QboneServer::MultiRatePaced => {
+            let tiers = vec![
+                mpeg1::encode(&model, 1_000_000),
+                mpeg1::encode(&model, 1_500_000),
+                mpeg1::encode(&model, 1_700_000),
+            ];
+            // The server sizes its encoding to the purchased profile,
+            // leaving ~12 % headroom for packet overhead and burstiness.
+            let estimate = (cfg.profile.token_rate_bps as f64 * 0.88) as u64;
+            Box::new(PacedServer::new_multi_rate(
+                PacedConfig::new(client, MEDIA_FLOW, Dscp::EF_QBONE),
+                &tiers,
+                estimate,
+            ))
+        }
+    };
+    let server = b.add_host("video-server", server_app);
+    assert_eq!(server, NodeId(5), "node creation order changed");
+
+    // Access links.
+    b.connect(client, local_edge, Link::ethernet_10mbps());
+    b.connect(server, remote_edge, Link::fast_ethernet());
+
+    // Wide-area links with EF priority queues on the router ports.
+    let prio = || {
+        Box::new(StrictPriorityQueue::ef_default(
+            QueueLimits::bytes(120_000),
+            QueueLimits::packets(60),
+        ))
+    };
+    let wan = |rate: u64, ms: u64| Link::new(rate, SimDuration::from_millis(ms));
+    b.connect_with(remote_edge, core1, wan(45_000_000, 5), wan(45_000_000, 5), prio(), prio());
+    b.connect_with(core1, core2, wan(155_000_000, 20), wan(155_000_000, 20), prio(), prio());
+    b.connect_with(core2, local_edge, wan(45_000_000, 5), wan(45_000_000, 5), prio(), prio());
+
+    // Ingress policing at the remote border (Cisco CAR, drop).
+    let policer = Policer::car_drop(cfg.profile.token_rate_bps, cfg.profile.bucket_depth_bytes);
+    let table = PolicyTable::new().with(
+        MatchRule::src_dst(server, client),
+        PolicyAction::Police(policer),
+    );
+    b.set_conditioner(remote_edge, Box::new(table));
+
+    // Optional background load across the backbone (best effort).
+    if cfg.cross_traffic {
+        let ct_sink = b.add_host("ct-sink", Box::new(CountingSink::default()));
+        b.connect(ct_sink, core2, Link::fast_ethernet());
+        let ct_src = b.add_host(
+            "ct-src",
+            Box::new(OnOffSource::new(
+                ct_sink,
+                CT_FLOW,
+                1000,
+                30_000_000,
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(200),
+                Dscp::BEST_EFFORT,
+                SimTime::from_secs(200),
+                rng.fork(1),
+            )),
+        );
+        b.connect(ct_src, core1, Link::fast_ethernet());
+    }
+
+    let mut sim = Simulation::new(b.build());
+    sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+
+    let report = client_handle.borrow().report();
+    let media = sim.net.stats.flow(MEDIA_FLOW);
+    let best_features = if cfg.score_vs_best {
+        Some(encoded_features(&model, &mpeg1::encode(&model, 1_700_000)))
+    } else {
+        None
+    };
+    let (same, vs_best) = score_run(&model, &clip, &report, best_features.as_deref());
+    let outcome = RunOutcome::assemble(&report, &media, &same, vs_best.as_ref(), 0, 0, false);
+    (outcome, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{DEPTH_2MTU, DEPTH_3MTU};
+
+    #[test]
+    fn generous_profile_delivers_perfect_quality() {
+        // Token rate far above the maximum encoding rate: nothing drops,
+        // quality ~0.
+        let cfg = QboneConfig::new(
+            ClipId2::Lost,
+            1_000_000,
+            EfProfile::new(2_500_000, DEPTH_3MTU),
+        );
+        let out = run_qbone(&cfg);
+        assert_eq!(out.policer_drops, 0, "no drops expected");
+        assert!(out.frame_loss < 0.01, "frame loss {}", out.frame_loss);
+        assert!(out.quality < 0.05, "quality {}", out.quality);
+    }
+
+    #[test]
+    fn starved_profile_is_unwatchable() {
+        // Token rate well below the encoding rate: massive policing loss.
+        let cfg = QboneConfig::new(
+            ClipId2::Lost,
+            1_700_000,
+            EfProfile::new(900_000, DEPTH_2MTU),
+        );
+        let out = run_qbone(&cfg);
+        assert!(out.packet_loss > 0.2, "packet loss {}", out.packet_loss);
+        assert!(out.frame_loss > 0.4, "frame loss {}", out.frame_loss);
+        assert!(out.quality > 0.7, "quality {}", out.quality);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = QboneConfig::new(
+            ClipId2::Lost,
+            1_500_000,
+            EfProfile::new(1_550_000, DEPTH_2MTU),
+        );
+        let a = run_qbone(&cfg);
+        let b = run_qbone(&cfg);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.rx_packets, b.rx_packets);
+    }
+
+    #[test]
+    fn cross_traffic_changes_little_for_ef() {
+        let mk = |ct: bool| {
+            let mut cfg = QboneConfig::new(
+                ClipId2::Lost,
+                1_000_000,
+                EfProfile::new(1_400_000, DEPTH_3MTU),
+            );
+            cfg.cross_traffic = ct;
+            run_qbone(&cfg)
+        };
+        let quiet = mk(false);
+        let loaded = mk(true);
+        // "…only minor variations were observed" (paper §4).
+        assert!(
+            (quiet.quality - loaded.quality).abs() < 0.1,
+            "quiet {} vs loaded {}",
+            quiet.quality,
+            loaded.quality
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text table/series formatting for the figure-regeneration
+//! binaries, plus the paper's Table 4 configuration summary.
+
+use crate::sweep::SweepResult;
+
+/// Render rows as an aligned plain-text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&rule, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Render a sweep as the two per-depth series a paper figure shows:
+/// token rate vs quality and frame loss.
+pub fn format_sweep(sweep: &SweepResult) -> String {
+    let mut out = format!("# {}\n", sweep.label);
+    for depth in sweep.depths() {
+        out.push_str(&format!("\n## bucket depth {depth} bytes\n"));
+        let rows: Vec<Vec<String>> = sweep
+            .curve(depth)
+            .iter()
+            .map(|&(rate, quality, loss)| {
+                vec![
+                    format!("{:.3}", rate as f64 / 1e6),
+                    format!("{quality:.3}"),
+                    format!("{loss:.4}"),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["token rate (Mbps)", "quality (0=best)", "frame loss"],
+            &rows,
+        ));
+    }
+    out
+}
+
+/// The paper's Table 4: summary of experimental configurations.
+pub fn table4_summary() -> String {
+    let rows = vec![
+        vec![
+            "QBone".into(),
+            "Video Charger (paced)".into(),
+            "UDP".into(),
+            "MPEG-1 CBR".into(),
+            "EF".into(),
+            "token rate × {3000, 4500} B".into(),
+            "Drop (CAR at remote border)".into(),
+        ],
+        vec![
+            "Local testbed".into(),
+            "Windows Media (adaptive)".into(),
+            "TCP, UDP".into(),
+            "WMV capped VBR".into(),
+            "EF".into(),
+            "token rate × {3000, 4500} B".into(),
+            "Drop (router 1); Shape (Linux router)".into(),
+        ],
+    ];
+    format_table(
+        &[
+            "Testbed",
+            "Video server",
+            "Network protocol",
+            "Content type",
+            "PHB",
+            "Service parameters",
+            "Out-of-profile action",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     long-header"));
+        assert!(lines[1].starts_with("----  -----------"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn table4_mentions_both_testbeds() {
+        let t = table4_summary();
+        assert!(t.contains("QBone"));
+        assert!(t.contains("Local testbed"));
+        assert!(t.contains("Drop"));
+        assert!(t.contains("Shape"));
+    }
+}

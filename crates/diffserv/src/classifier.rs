@@ -1,0 +1,119 @@
+//! Multi-field classification.
+//!
+//! "At router 1, the profile specifies the source address of the video
+//! server and the destination address of the video client, which will then
+//! trigger the creation of a classifier entry at the router to extract the
+//! corresponding set of packets" (paper §3.2.1.2). A [`MatchRule`] is such a
+//! profile: any combination of source host, destination host, flow, DSCP and
+//! protocol, each field optional (None = wildcard).
+
+use dsv_net::packet::{Dscp, FlowId, NodeId, Packet, Proto};
+
+/// A packet-matching profile. All present fields must match (conjunction);
+/// absent fields are wildcards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchRule {
+    /// Match the originating host.
+    pub src: Option<NodeId>,
+    /// Match the destination host.
+    pub dst: Option<NodeId>,
+    /// Match the flow label.
+    pub flow: Option<FlowId>,
+    /// Match the current DSCP marking.
+    pub dscp: Option<Dscp>,
+    /// Match the transport tag.
+    pub proto: Option<Proto>,
+}
+
+impl MatchRule {
+    /// Matches everything.
+    pub const ANY: MatchRule = MatchRule {
+        src: None,
+        dst: None,
+        flow: None,
+        dscp: None,
+        proto: None,
+    };
+
+    /// The paper's router-1 profile: source = video server, destination =
+    /// video client.
+    pub fn src_dst(src: NodeId, dst: NodeId) -> MatchRule {
+        MatchRule {
+            src: Some(src),
+            dst: Some(dst),
+            ..MatchRule::ANY
+        }
+    }
+
+    /// Match packets already carrying an EF marking (routers 2 and 3 only
+    /// classify on the DSCP).
+    pub fn ef_marked() -> MatchRule {
+        MatchRule {
+            dscp: Some(Dscp::EF),
+            ..MatchRule::ANY
+        }
+    }
+
+    /// Does `pkt` satisfy this rule?
+    pub fn matches<P>(&self, pkt: &Packet<P>) -> bool {
+        self.src.is_none_or(|v| v == pkt.src)
+            && self.dst.is_none_or(|v| v == pkt.dst)
+            && self.flow.is_none_or(|v| v == pkt.flow)
+            && self.dscp.is_none_or(|v| v == pkt.dscp || (v.is_ef() && pkt.dscp.is_ef()))
+            && self.proto.is_none_or(|v| v == pkt.proto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_sim::SimTime;
+
+    fn pkt(src: u32, dst: u32, flow: u32, dscp: Dscp, proto: Proto) -> Packet<()> {
+        Packet {
+            id: dsv_net::packet::PacketId(0),
+            flow: FlowId(flow),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size: 100,
+            dscp,
+            proto,
+            fragment: None,
+            sent_at: SimTime::ZERO,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(MatchRule::ANY.matches(&pkt(1, 2, 3, Dscp::EF, Proto::Udp)));
+        assert!(MatchRule::ANY.matches(&pkt(9, 8, 7, Dscp::BEST_EFFORT, Proto::Tcp)));
+    }
+
+    #[test]
+    fn src_dst_profile() {
+        let r = MatchRule::src_dst(NodeId(1), NodeId(2));
+        assert!(r.matches(&pkt(1, 2, 99, Dscp::BEST_EFFORT, Proto::Udp)));
+        assert!(!r.matches(&pkt(1, 3, 99, Dscp::BEST_EFFORT, Proto::Udp)));
+        assert!(!r.matches(&pkt(4, 2, 99, Dscp::BEST_EFFORT, Proto::Udp)));
+    }
+
+    #[test]
+    fn ef_rule_accepts_both_ef_codepoints() {
+        let r = MatchRule::ef_marked();
+        assert!(r.matches(&pkt(1, 2, 3, Dscp::EF, Proto::Udp)));
+        assert!(r.matches(&pkt(1, 2, 3, Dscp::EF_QBONE, Proto::Udp)));
+        assert!(!r.matches(&pkt(1, 2, 3, Dscp::BEST_EFFORT, Proto::Udp)));
+    }
+
+    #[test]
+    fn conjunction_of_fields() {
+        let r = MatchRule {
+            src: Some(NodeId(1)),
+            proto: Some(Proto::Tcp),
+            ..MatchRule::ANY
+        };
+        assert!(r.matches(&pkt(1, 2, 3, Dscp::EF, Proto::Tcp)));
+        assert!(!r.matches(&pkt(1, 2, 3, Dscp::EF, Proto::Udp)));
+    }
+}

@@ -1,0 +1,51 @@
+//! # dsv-diffserv — Differentiated Services traffic conditioning
+//!
+//! The conditioning blocks of the Diff-Serv architecture (RFC 2475) as used
+//! by the paper's testbeds:
+//!
+//! * [`token_bucket::TokenBucket`] — exact, byte-accurate metering; the
+//!   (token rate, bucket depth) pair is the independent variable of every
+//!   experiment in the paper;
+//! * [`policer::Policer`] — EF "hard" policing (drop non-conformant), with
+//!   a Cisco-CAR-style constructor for the QBone ingress configuration;
+//! * [`shaper::Shaper`] — delay non-conformant packets until conformant
+//!   (the paper's upstream Linux shaping router);
+//! * [`meter`] — RFC 2697/2698 three-color meters for AF-style policies;
+//! * [`classifier::MatchRule`] — multi-field profiles;
+//! * [`policy::PolicyTable`] — ordered profile→action tables implementing
+//!   [`dsv_net::conditioner::Conditioner`], attachable to any router.
+//!
+//! ## Example: the paper's router-1 policy
+//!
+//! ```
+//! use dsv_diffserv::prelude::*;
+//! use dsv_net::packet::NodeId;
+//!
+//! // Police server->client traffic to 1.7 Mbps with a two-MTU bucket,
+//! // marking conformant packets EF and dropping the rest.
+//! let table: PolicyTable<()> = PolicyTable::new().with(
+//!     MatchRule::src_dst(NodeId(0), NodeId(4)),
+//!     PolicyAction::Police(Policer::ef_drop(1_700_000, 3000)),
+//! );
+//! # let _ = table;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod meter;
+pub mod policer;
+pub mod policy;
+pub mod shaper;
+pub mod token_bucket;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::classifier::MatchRule;
+    pub use crate::meter::{Color, SrTcm, TrTcm};
+    pub use crate::policer::{ExceedAction, Policer, PolicerVerdict};
+    pub use crate::policy::{PolicyAction, PolicyTable};
+    pub use crate::shaper::{Shaper, ShaperResult};
+    pub use crate::token_bucket::TokenBucket;
+}

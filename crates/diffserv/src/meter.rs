@@ -1,0 +1,172 @@
+//! Three-color meters (RFC 2697 srTCM, RFC 2698 trTCM).
+//!
+//! The paper's AF discussion (§2.1) notes that the AF PHB group "primarily
+//! calls for policing actions that mark packets with different colors
+//! (DSCPs) depending on their level of non-conformance". These meters are
+//! the standard mechanisms for that marking and are provided for AF-style
+//! policies; the headline experiments use only the EF policer.
+
+use dsv_sim::SimTime;
+
+use crate::token_bucket::TokenBucket;
+
+/// Metering color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Color {
+    /// Conforms to the committed rate/burst.
+    Green,
+    /// Exceeds committed but within excess/peak allowance.
+    Yellow,
+    /// Exceeds everything.
+    Red,
+}
+
+/// Single-rate three-color meter (RFC 2697), color-blind mode.
+///
+/// Two buckets share the committed rate: C (depth CBS) refills first, and
+/// overflow tokens spill into E (depth EBS).
+#[derive(Debug, Clone)]
+pub struct SrTcm {
+    cir_bps: u64,
+    /// Wall clock of the last update (tokens spill C→E between updates).
+    last: SimTime,
+    c_level_bytes: f64,
+    e_level_bytes: f64,
+    cbs: u32,
+    ebs: u32,
+}
+
+impl SrTcm {
+    /// Build with committed rate (bps), committed burst (bytes) and excess
+    /// burst (bytes). Both buckets start full.
+    ///
+    /// The C/E levels are tracked as `f64` bytes with a shared refill that
+    /// spills C's overflow into E, per RFC 2697 §3.1.
+    pub fn new(cir_bps: u64, cbs_bytes: u32, ebs_bytes: u32) -> Self {
+        assert!(cir_bps > 0 && cbs_bytes > 0);
+        SrTcm {
+            cir_bps,
+            last: SimTime::ZERO,
+            c_level_bytes: cbs_bytes as f64,
+            e_level_bytes: ebs_bytes as f64,
+            cbs: cbs_bytes,
+            ebs: ebs_bytes,
+        }
+    }
+
+    fn update(&mut self, now: SimTime) {
+        if let Some(elapsed) = now.checked_since(self.last) {
+            let mut add = self.cir_bps as f64 * elapsed.as_secs_f64() / 8.0;
+            let c_room = self.cbs as f64 - self.c_level_bytes;
+            let to_c = add.min(c_room);
+            self.c_level_bytes += to_c;
+            add -= to_c;
+            self.e_level_bytes = (self.e_level_bytes + add).min(self.ebs as f64);
+            self.last = now;
+        }
+    }
+
+    /// Meter one packet of `bytes` bytes at `now`.
+    pub fn meter(&mut self, now: SimTime, bytes: u32) -> Color {
+        self.update(now);
+        let b = bytes as f64;
+        if self.c_level_bytes >= b {
+            self.c_level_bytes -= b;
+            Color::Green
+        } else if self.e_level_bytes >= b {
+            self.e_level_bytes -= b;
+            Color::Yellow
+        } else {
+            Color::Red
+        }
+    }
+}
+
+/// Two-rate three-color meter (RFC 2698), color-blind mode.
+///
+/// Red if the packet exceeds the peak bucket; else yellow if it exceeds the
+/// committed bucket; else green (both buckets are debited for green).
+#[derive(Debug, Clone)]
+pub struct TrTcm {
+    p: TokenBucket,
+    c: TokenBucket,
+}
+
+impl TrTcm {
+    /// Build with peak rate/burst and committed rate/burst.
+    pub fn new(pir_bps: u64, pbs_bytes: u32, cir_bps: u64, cbs_bytes: u32) -> Self {
+        assert!(pir_bps >= cir_bps, "peak rate below committed rate");
+        TrTcm {
+            p: TokenBucket::new(pir_bps, pbs_bytes),
+            c: TokenBucket::new(cir_bps, cbs_bytes),
+        }
+    }
+
+    /// Meter one packet of `bytes` bytes at `now`.
+    pub fn meter(&mut self, now: SimTime, bytes: u32) -> Color {
+        // RFC 2698: check peak first.
+        if !self.p.try_consume(now, bytes) {
+            return Color::Red;
+        }
+        if self.c.try_consume(now, bytes) {
+            Color::Green
+        } else {
+            Color::Yellow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srtcm_burst_coloring() {
+        // CIR 1 Mbps, CBS 3000, EBS 3000; both start full.
+        let mut m = SrTcm::new(1_000_000, 3000, 3000);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Green);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Green);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Yellow);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Yellow);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Red);
+    }
+
+    #[test]
+    fn srtcm_refills_committed_first() {
+        let mut m = SrTcm::new(8_000_000, 1500, 1500); // 1 byte/µs
+        // Drain both buckets.
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Green);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Yellow);
+        assert_eq!(m.meter(SimTime::ZERO, 100), Color::Red);
+        // After 1500 µs, C is full again; E still empty.
+        assert_eq!(m.meter(SimTime::from_micros(1500), 1500), Color::Green);
+        assert_eq!(m.meter(SimTime::from_micros(1500), 100), Color::Red);
+        // After C refills, surplus spills into E.
+        assert_eq!(m.meter(SimTime::from_micros(4500), 1500), Color::Green);
+        assert_eq!(m.meter(SimTime::from_micros(4500), 1400), Color::Yellow);
+    }
+
+    #[test]
+    fn srtcm_zero_ebs_never_yellow() {
+        let mut m = SrTcm::new(1_000_000, 3000, 0);
+        assert_eq!(m.meter(SimTime::ZERO, 3000), Color::Green);
+        assert_eq!(m.meter(SimTime::ZERO, 1), Color::Red);
+    }
+
+    #[test]
+    fn trtcm_distinguishes_rates() {
+        // PIR 2 Mbps / PBS 3000, CIR 1 Mbps / CBS 1500.
+        let mut m = TrTcm::new(2_000_000, 3000, 1_000_000, 1500);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Green);
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Yellow); // C empty, P ok
+        assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Red); // P empty
+        // After 6 ms: P gained 1500 B, C gained 750 B.
+        assert_eq!(m.meter(SimTime::from_millis(6), 1500), Color::Yellow);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak rate below committed")]
+    fn trtcm_validates_rates() {
+        TrTcm::new(1_000_000, 3000, 2_000_000, 3000);
+    }
+}

@@ -1,0 +1,281 @@
+//! Per-router policy tables — the glue that turns the conditioning blocks
+//! into a [`Conditioner`] the network invokes at router ingress.
+//!
+//! "A policy specifies a 'profile' that identifies the packet to which the
+//! policy applies, and an action that determines the treatment that these
+//! packets are to receive" (paper §3.2.1.2). A [`PolicyTable`] is an
+//! ordered list of `(profile, action)` pairs; the first matching rule wins
+//! and unmatched packets pass untouched.
+
+use dsv_net::conditioner::{ConditionOutcome, Conditioner, Released};
+use dsv_net::packet::{Dscp, DropReason, Packet};
+use dsv_sim::SimTime;
+
+use crate::classifier::MatchRule;
+use crate::meter::{Color, SrTcm};
+use crate::policer::{Policer, PolicerVerdict};
+use crate::shaper::{Shaper, ShaperResult};
+
+/// The treatment applied to packets matching a profile.
+pub enum PolicyAction<P> {
+    /// Meter against a token bucket; conformant packets are forwarded
+    /// (optionally re-marked), non-conformant handled per the policer.
+    Police(Policer),
+    /// Delay non-conformant packets until conformant.
+    Shape(Shaper<P>),
+    /// Unconditionally set the DSCP.
+    Mark(Dscp),
+    /// AF-style conditioning: meter with an srTCM and mark the packet with
+    /// the class's green/yellow/red drop precedence (RFC 2597). Never
+    /// drops — shedding happens in the core's WRED queues.
+    MeterAf {
+        /// The single-rate three-color meter.
+        meter: SrTcm,
+        /// AF class 1..=4.
+        class: u8,
+    },
+    /// Explicitly pass untouched (useful to exempt a sub-profile ahead of a
+    /// broader rule).
+    Pass,
+}
+
+struct PolicyRule<P> {
+    profile: MatchRule,
+    action: PolicyAction<P>,
+}
+
+/// An ordered, first-match policy table implementing
+/// [`dsv_net::conditioner::Conditioner`].
+pub struct PolicyTable<P> {
+    rules: Vec<PolicyRule<P>>,
+}
+
+impl<P> PolicyTable<P> {
+    /// Empty table (passes everything).
+    pub fn new() -> Self {
+        PolicyTable { rules: Vec::new() }
+    }
+
+    /// Append a rule; earlier rules take precedence.
+    pub fn push(&mut self, profile: MatchRule, action: PolicyAction<P>) -> &mut Self {
+        self.rules.push(PolicyRule { profile, action });
+        self
+    }
+
+    /// Builder-style rule addition.
+    pub fn with(mut self, profile: MatchRule, action: PolicyAction<P>) -> Self {
+        self.push(profile, action);
+        self
+    }
+
+    /// Total conformant/non-conformant counts across all policers
+    /// (diagnostics for experiment reports).
+    pub fn policer_counts(&self) -> (u64, u64) {
+        let mut ok = 0;
+        let mut bad = 0;
+        for r in &self.rules {
+            if let PolicyAction::Police(p) = &r.action {
+                ok += p.conformant;
+                bad += p.non_conformant;
+            }
+        }
+        (ok, bad)
+    }
+}
+
+impl<P> Default for PolicyTable<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Conditioner<P> for PolicyTable<P> {
+    fn submit(&mut self, now: SimTime, pkt: Packet<P>) -> ConditionOutcome<P> {
+        for rule in &mut self.rules {
+            if !rule.profile.matches(&pkt) {
+                continue;
+            }
+            return match &mut rule.action {
+                PolicyAction::Pass => ConditionOutcome::Pass(pkt),
+                PolicyAction::Mark(d) => {
+                    let mut pkt = pkt;
+                    pkt.dscp = *d;
+                    ConditionOutcome::Pass(pkt)
+                }
+                PolicyAction::MeterAf { meter, class } => {
+                    let mut pkt = pkt;
+                    let precedence = match meter.meter(now, pkt.size) {
+                        Color::Green => 1,
+                        Color::Yellow => 2,
+                        Color::Red => 3,
+                    };
+                    pkt.dscp = Dscp::af(*class, precedence);
+                    ConditionOutcome::Pass(pkt)
+                }
+                PolicyAction::Police(p) => match p.police(now, pkt) {
+                    PolicerVerdict::Pass(pkt) => ConditionOutcome::Pass(pkt),
+                    PolicerVerdict::Drop(pkt) => {
+                        ConditionOutcome::Drop(pkt, DropReason::PolicerNonConformant)
+                    }
+                },
+                PolicyAction::Shape(s) => match s.offer(now, pkt) {
+                    ShaperResult::PassNow(pkt) => ConditionOutcome::Pass(pkt),
+                    ShaperResult::Queued { next_release } => ConditionOutcome::Absorbed {
+                        poll_at: next_release,
+                    },
+                    ShaperResult::Overflow(pkt) => {
+                        ConditionOutcome::Drop(pkt, DropReason::ShaperOverflow)
+                    }
+                },
+            };
+        }
+        ConditionOutcome::Pass(pkt)
+    }
+
+    fn release(&mut self, now: SimTime) -> Released<P> {
+        let mut packets = Vec::new();
+        let mut next_poll: Option<SimTime> = None;
+        for rule in &mut self.rules {
+            if let PolicyAction::Shape(s) = &mut rule.action {
+                let (ready, next) = s.pop_ready(now);
+                packets.extend(ready);
+                next_poll = match (next_poll, next) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        Released { packets, next_poll }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_net::packet::{FlowId, NodeId, PacketId, Proto};
+
+    fn pkt(id: u64, src: u32, size: u32) -> Packet<()> {
+        Packet {
+            id: PacketId(id),
+            flow: FlowId(1),
+            src: NodeId(src),
+            dst: NodeId(9),
+            size,
+            dscp: Dscp::BEST_EFFORT,
+            proto: Proto::Udp,
+            fragment: None,
+            sent_at: SimTime::ZERO,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn unmatched_packets_pass() {
+        let mut t: PolicyTable<()> = PolicyTable::new().with(
+            MatchRule {
+                src: Some(NodeId(1)),
+                ..MatchRule::ANY
+            },
+            PolicyAction::Police(Policer::ef_drop(1_000_000, 1500)),
+        );
+        // src 2 doesn't match: passes even though the policer would drop it.
+        match t.submit(SimTime::ZERO, pkt(1, 2, 99_999)) {
+            ConditionOutcome::Pass(p) => assert_eq!(p.dscp, Dscp::BEST_EFFORT),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut t: PolicyTable<()> = PolicyTable::new()
+            .with(
+                MatchRule {
+                    src: Some(NodeId(1)),
+                    ..MatchRule::ANY
+                },
+                PolicyAction::Mark(Dscp::EF),
+            )
+            .with(MatchRule::ANY, PolicyAction::Mark(Dscp::cs(1)));
+        match t.submit(SimTime::ZERO, pkt(1, 1, 100)) {
+            ConditionOutcome::Pass(p) => assert_eq!(p.dscp, Dscp::EF),
+            other => panic!("{other:?}"),
+        }
+        match t.submit(SimTime::ZERO, pkt(2, 5, 100)) {
+            ConditionOutcome::Pass(p) => assert_eq!(p.dscp, Dscp::cs(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn police_action_drops_and_counts() {
+        let mut t: PolicyTable<()> = PolicyTable::new().with(
+            MatchRule::ANY,
+            PolicyAction::Police(Policer::ef_drop(1_000_000, 3000)),
+        );
+        assert!(matches!(
+            t.submit(SimTime::ZERO, pkt(1, 1, 1500)),
+            ConditionOutcome::Pass(_)
+        ));
+        assert!(matches!(
+            t.submit(SimTime::ZERO, pkt(2, 1, 1500)),
+            ConditionOutcome::Pass(_)
+        ));
+        match t.submit(SimTime::ZERO, pkt(3, 1, 1500)) {
+            ConditionOutcome::Drop(_, DropReason::PolicerNonConformant) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.policer_counts(), (2, 1));
+    }
+
+    #[test]
+    fn shape_action_absorbs_and_releases() {
+        let mut t: PolicyTable<()> = PolicyTable::new().with(
+            MatchRule::ANY,
+            PolicyAction::Shape(Shaper::new(8_000_000, 1500, 100_000)),
+        );
+        assert!(matches!(
+            t.submit(SimTime::ZERO, pkt(1, 1, 1500)),
+            ConditionOutcome::Pass(_)
+        ));
+        let poll_at = match t.submit(SimTime::ZERO, pkt(2, 1, 1500)) {
+            ConditionOutcome::Absorbed { poll_at } => poll_at,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(poll_at, SimTime::from_micros(1500));
+        let rel = t.release(poll_at);
+        assert_eq!(rel.packets.len(), 1);
+        assert_eq!(rel.packets[0].id, PacketId(2));
+        assert!(rel.next_poll.is_none());
+    }
+
+    #[test]
+    fn meter_af_colors_by_conformance() {
+        use crate::meter::SrTcm;
+        let mut t: PolicyTable<()> = PolicyTable::new().with(
+            MatchRule::ANY,
+            PolicyAction::MeterAf {
+                meter: SrTcm::new(1_000_000, 1500, 1500),
+                class: 2,
+            },
+        );
+        let color_of = |t: &mut PolicyTable<()>, id: u64| match t
+            .submit(SimTime::ZERO, pkt(id, 1, 1500))
+        {
+            ConditionOutcome::Pass(p) => p.dscp,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(color_of(&mut t, 1), Dscp::af(2, 1)); // green
+        assert_eq!(color_of(&mut t, 2), Dscp::af(2, 2)); // yellow
+        assert_eq!(color_of(&mut t, 3), Dscp::af(2, 3)); // red: never drop
+    }
+
+    #[test]
+    fn empty_table_passes() {
+        let mut t: PolicyTable<()> = PolicyTable::new();
+        assert!(matches!(
+            t.submit(SimTime::ZERO, pkt(1, 1, 100)),
+            ConditionOutcome::Pass(_)
+        ));
+        assert!(t.release(SimTime::ZERO).packets.is_empty());
+    }
+}

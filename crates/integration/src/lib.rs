@@ -1,0 +1,7 @@
+//! # dsv-integration
+//!
+//! This crate exists to host the workspace-level integration tests that
+//! live in the repository's top-level `tests/` directory (see the
+//! `[[test]]` entries in its `Cargo.toml`). Each test file exercises the
+//! full pipeline across crates: testbed construction → streaming →
+//! client report → VQM scoring → curve analysis.

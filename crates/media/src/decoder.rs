@@ -1,0 +1,204 @@
+//! Decoder dependency model: which frames are *decodable* given which
+//! frames arrived intact.
+//!
+//! This is where packet loss becomes frame loss, and where the paper's
+//! non-linearity begins: a lost packet does not cost one frame but every
+//! frame that references it. For MPEG GOPs, losing an I frame corrupts the
+//! whole GOP; losing a P frame corrupts the remainder of the GOP; B frames
+//! additionally need their *next* anchor. For the WMV-style delta chain,
+//! a loss corrupts everything until the next key frame.
+
+use crate::frame::{EncodedFrame, FrameKind};
+
+/// Compute per-frame decodability from per-frame arrival.
+///
+/// `received[i]` is true iff every packet of frame `i` arrived (reassembly
+/// is the client's job — see `dsv-stream`). Returns `decodable[i]`.
+///
+/// # Panics
+/// Panics if the slices' lengths differ.
+pub fn decodable_frames(frames: &[EncodedFrame], received: &[bool]) -> Vec<bool> {
+    assert_eq!(frames.len(), received.len(), "length mismatch");
+    let n = frames.len();
+    let mut ok = vec![false; n];
+
+    // Pass 1: anchors (I, P, Delta chains) in display order.
+    let mut prev_anchor_ok = false;
+    for i in 0..n {
+        match frames[i].kind {
+            FrameKind::I => {
+                ok[i] = received[i];
+                prev_anchor_ok = ok[i];
+            }
+            FrameKind::P => {
+                ok[i] = received[i] && prev_anchor_ok;
+                prev_anchor_ok = ok[i];
+            }
+            FrameKind::Delta => {
+                // Delta chains hang off the previous decodable frame.
+                ok[i] = received[i] && prev_anchor_ok;
+                prev_anchor_ok = ok[i];
+            }
+            FrameKind::B => {
+                // Handled in pass 2; does not update the anchor chain.
+            }
+        }
+    }
+
+    // Pass 2: B frames need the surrounding anchors.
+    for i in 0..n {
+        if frames[i].kind != FrameKind::B {
+            continue;
+        }
+        if !received[i] {
+            continue;
+        }
+        // Previous anchor in display order.
+        let prev_ok = (0..i)
+            .rev()
+            .find(|&j| frames[j].kind.is_anchor())
+            .map(|j| ok[j]);
+        // Next anchor in display order.
+        let next_ok = (i + 1..n)
+            .find(|&j| frames[j].kind.is_anchor())
+            .map(|j| ok[j]);
+        ok[i] = match (prev_ok, next_ok) {
+            (Some(p), Some(nx)) => p && nx,
+            // Trailing B frames at clip end: previous anchor suffices.
+            (Some(p), None) => p,
+            // Leading B frames before any anchor can't decode.
+            _ => false,
+        };
+    }
+
+    ok
+}
+
+/// Fraction of frames lost (not decodable) — the paper's frame-loss metric.
+pub fn frame_loss_fraction(decodable: &[bool]) -> f64 {
+    if decodable.is_empty() {
+        return 0.0;
+    }
+    1.0 - decodable.iter().filter(|&&d| d).count() as f64 / decodable.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::mpeg1::{encode, frame_kind};
+    use crate::encoder::wmv;
+    use crate::scene::ClipId;
+
+    fn mpeg_frames(n: u32) -> Vec<EncodedFrame> {
+        (0..n)
+            .map(|i| EncodedFrame {
+                index: i,
+                kind: frame_kind(i),
+                bytes: 1000,
+                fidelity: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_received_all_decodable() {
+        let frames = mpeg_frames(36);
+        let ok = decodable_frames(&frames, &[true; 36]);
+        assert!(ok.iter().all(|&x| x));
+        assert_eq!(frame_loss_fraction(&ok), 0.0);
+    }
+
+    #[test]
+    fn lost_i_frame_kills_gop() {
+        let frames = mpeg_frames(24);
+        let mut rx = vec![true; 24];
+        rx[0] = false; // first I frame
+        let ok = decodable_frames(&frames, &rx);
+        // Whole first GOP (0..12) is undecodable; second GOP fine except
+        // B frames 10,11 of GOP 1 already belong to GOP 1 (indices 10, 11)…
+        for (i, &o) in ok.iter().enumerate().take(12) {
+            assert!(!o, "frame {i} should be corrupt");
+        }
+        for (i, &o) in ok.iter().enumerate().skip(12) {
+            assert!(o, "frame {i} should be fine");
+        }
+    }
+
+    #[test]
+    fn lost_p_frame_corrupts_rest_of_gop() {
+        let frames = mpeg_frames(24);
+        let mut rx = vec![true; 24];
+        rx[6] = false; // second P of first GOP
+        let ok = decodable_frames(&frames, &rx);
+        // Frames 0..4 decodable (I, B, B, P, B) — B frames 4,5 need anchors
+        // 3 (P, ok) and 6 (P, lost) -> corrupt.
+        assert!(ok[0] && ok[1] && ok[2] && ok[3]);
+        assert!(!ok[4] && !ok[5], "B frames referencing lost P");
+        for (i, &o) in ok.iter().enumerate().take(12).skip(6) {
+            assert!(!o, "frame {i} after lost P");
+        }
+        assert!(ok[12], "next GOP recovers");
+    }
+
+    #[test]
+    fn lost_b_frame_costs_only_itself() {
+        let frames = mpeg_frames(24);
+        let mut rx = vec![true; 24];
+        rx[4] = false; // a B frame
+        let ok = decodable_frames(&frames, &rx);
+        let lost: Vec<usize> = ok.iter().enumerate().filter(|(_, &o)| !o).map(|(i, _)| i).collect();
+        assert_eq!(lost, vec![4]);
+    }
+
+    #[test]
+    fn delta_chain_corrupts_until_keyframe() {
+        let clip = wmv::encode(&ClipId::Lost.model(), wmv::PAPER_CAP_BPS);
+        let n = clip.frames.len();
+        let mut rx = vec![true; n];
+        rx[10] = false;
+        let ok = decodable_frames(&clip.frames, &rx);
+        for (i, &o) in ok.iter().enumerate().take(10) {
+            assert!(o, "frame {i}");
+        }
+        for (i, &o) in ok
+            .iter()
+            .enumerate()
+            .take(wmv::KEYFRAME_INTERVAL as usize)
+            .skip(10)
+        {
+            assert!(!o, "frame {i} should be corrupt until key frame");
+        }
+        assert!(ok[wmv::KEYFRAME_INTERVAL as usize], "key frame recovers");
+    }
+
+    #[test]
+    fn loss_amplification_is_superlinear() {
+        // 1 % of packets lost on I frames costs far more than 1 % of
+        // frames: the paper's central nonlinearity.
+        let clip = encode(&ClipId::Lost.model(), 1_500_000);
+        let n = clip.frames.len();
+        let mut rx = vec![true; n];
+        // Lose every 8th I frame (~1/96 of frames ≈ 1 %).
+        let mut lost_frames = 0;
+        for (i, f) in clip.frames.iter().enumerate() {
+            if f.kind == FrameKind::I && (i / 12) % 8 == 0 {
+                rx[i] = false;
+                lost_frames += 1;
+            }
+        }
+        let ok = decodable_frames(&clip.frames, &rx);
+        let fl = frame_loss_fraction(&ok);
+        let direct = lost_frames as f64 / n as f64;
+        assert!(
+            fl > 8.0 * direct,
+            "amplification too weak: direct {direct:.4}, effective {fl:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let frames = mpeg_frames(5);
+        decodable_frames(&frames, &[true; 4]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Encoder models: MPEG-1 CBR (QBone experiments) and WMV capped VBR
+//! (local-testbed experiments).
+
+pub mod mpeg1;
+pub mod wmv;
+
+pub use mpeg1::EncodedClip;

@@ -1,0 +1,169 @@
+//! Per-frame content features.
+//!
+//! The ITS VQM method is *reduced-reference*: instead of comparing pixels,
+//! it extracts low-rate feature streams — spatial detail (SI), motion (TI),
+//! and color — from both the reference and the received video, and scores
+//! quality from the feature differences (ANSI T1.801.03-1996). We follow
+//! the same architecture: everything downstream of the media layer operates
+//! on [`FeatureFrame`] streams.
+//!
+//! SI and TI follow the standard definitions (ITU-T P.910 §7.7): SI is the
+//! RMS of the Sobel-filtered luminance plane, TI the RMS of successive
+//! frame differences. The analytic scene models in [`crate::scene`] produce
+//! these features directly; the rasterizer in [`crate::yuv`] produces real
+//! pixel planes from which the same features can be *measured*, and tests
+//! assert the two paths agree.
+
+/// Features of one displayed frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureFrame {
+    /// Spatial information: RMS Sobel energy of the luminance plane,
+    /// in 8-bit gray levels (typical video: 20–200).
+    pub si: f64,
+    /// Temporal information: RMS difference from the previously displayed
+    /// frame, in gray levels (0 = frozen; scene cuts reach 80+).
+    pub ti: f64,
+    /// Mean luminance (0–255).
+    pub y_mean: f64,
+    /// Chrominance spread — a proxy for COLOR features of the ANSI metric
+    /// (0–128).
+    pub chroma: f64,
+    /// Encoding fidelity carried through the codec, in (0, 1]. 1 means the
+    /// displayed frame is a transparent rendition of the source.
+    pub fidelity: f64,
+}
+
+impl FeatureFrame {
+    /// A mid-gray, motionless, pristine frame (useful as a neutral default).
+    pub fn neutral() -> Self {
+        FeatureFrame {
+            si: 60.0,
+            ti: 0.0,
+            y_mean: 128.0,
+            chroma: 20.0,
+            fidelity: 1.0,
+        }
+    }
+}
+
+/// A stream of displayed frames, one per presentation slot.
+pub type FeatureStream = Vec<FeatureFrame>;
+
+/// Apply encoding degradation to a source feature frame.
+///
+/// Quantization removes high-frequency spatial detail (SI loss), slightly
+/// smooths motion, and leaves means mostly intact. `fidelity` ∈ (0, 1].
+pub fn encode_features(src: FeatureFrame, fidelity: f64) -> FeatureFrame {
+    let f = fidelity.clamp(0.05, 1.0);
+    FeatureFrame {
+        // Blur: encoders at lower rates lose a fraction of edge energy.
+        si: src.si * (0.55 + 0.45 * f),
+        ti: src.ti * (0.8 + 0.2 * f),
+        y_mean: src.y_mean,
+        chroma: src.chroma * (0.85 + 0.15 * f),
+        fidelity: f * src.fidelity,
+    }
+}
+
+/// Build the *displayed* feature stream implied by a concealment schedule:
+/// `displayed[k]` names the source-frame index shown in presentation slot
+/// `k` (repeats show an earlier index). TI is recomputed from what is
+/// actually shown: repeated frames have TI = 0, and the first new frame
+/// after a freeze carries the accumulated motion of the skipped interval.
+pub fn displayed_stream(encoded: &[FeatureFrame], displayed: &[u32]) -> FeatureStream {
+    let mut out = Vec::with_capacity(displayed.len());
+    let mut prev_shown: Option<u32> = None;
+    for &src_idx in displayed {
+        let mut f = encoded[src_idx as usize];
+        f.ti = match prev_shown {
+            None => encoded[src_idx as usize].ti,
+            Some(p) if p == src_idx => 0.0,
+            Some(p) => {
+                // Motion accumulated between the previously shown frame and
+                // this one: approximate by the RMS-combined TI of the
+                // intervening frames (motion adds in energy).
+                let lo = (p.min(src_idx) + 1) as usize;
+                let hi = src_idx.max(p) as usize;
+                let sum_sq: f64 = encoded[lo..=hi.min(encoded.len() - 1)]
+                    .iter()
+                    .map(|e| e.ti * e.ti)
+                    .sum();
+                sum_sq.sqrt()
+            }
+        };
+        out.push(f);
+        prev_shown = Some(src_idx);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(tis: &[f64]) -> Vec<FeatureFrame> {
+        tis.iter()
+            .map(|&ti| FeatureFrame {
+                ti,
+                ..FeatureFrame::neutral()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_reduces_detail_monotonically() {
+        let src = FeatureFrame {
+            si: 100.0,
+            ti: 20.0,
+            y_mean: 120.0,
+            chroma: 30.0,
+            fidelity: 1.0,
+        };
+        let hi = encode_features(src, 0.95);
+        let lo = encode_features(src, 0.4);
+        assert!(hi.si > lo.si);
+        assert!(hi.fidelity > lo.fidelity);
+        assert!(lo.si > 0.0);
+        assert_eq!(hi.y_mean, src.y_mean);
+    }
+
+    #[test]
+    fn fidelity_is_clamped() {
+        let src = FeatureFrame::neutral();
+        let f = encode_features(src, 2.0);
+        assert!(f.fidelity <= 1.0);
+        let f = encode_features(src, -1.0);
+        assert!(f.fidelity > 0.0);
+    }
+
+    #[test]
+    fn displayed_stream_repeat_has_zero_ti() {
+        let enc = seq(&[10.0, 10.0, 10.0, 10.0]);
+        // Frame 1 lost: slot sequence 0, 0, 2, 3.
+        let out = displayed_stream(&enc, &[0, 0, 2, 3]);
+        assert_eq!(out[1].ti, 0.0);
+        // Recovery frame carries accumulated motion of frames 1..=2.
+        let expected = (10.0f64.powi(2) * 2.0).sqrt();
+        assert!((out[2].ti - expected).abs() < 1e-9);
+        assert_eq!(out[3].ti, 10.0);
+    }
+
+    #[test]
+    fn no_impairment_reproduces_source_ti() {
+        let enc = seq(&[5.0, 6.0, 7.0, 8.0]);
+        let out = displayed_stream(&enc, &[0, 1, 2, 3]);
+        let tis: Vec<f64> = out.iter().map(|f| f.ti).collect();
+        assert_eq!(tis, vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn long_freeze_then_jump() {
+        let enc = seq(&[4.0; 10]);
+        let out = displayed_stream(&enc, &[0, 0, 0, 0, 0, 9]);
+        for f in &out[1..5] {
+            assert_eq!(f.ti, 0.0);
+        }
+        // Jump across 9 frames of motion 4: sqrt(9*16) = 12.
+        assert!((out[5].ti - 12.0).abs() < 1e-9);
+    }
+}

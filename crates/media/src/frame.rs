@@ -1,0 +1,121 @@
+//! Frame-level types shared across the media pipeline.
+
+use dsv_sim::{SimDuration, SimTime};
+
+/// NTSC frame rate numerator/denominator (≈29.97 fps). Both clips in the
+/// paper play 30000/1001 frames per second: Lost is 2150 frames in 71.74 s,
+/// Dark 4219 frames in 140.77 s — both ≈ 29.97 fps.
+pub const FRAME_RATE_NUM: u64 = 30_000;
+/// See [`FRAME_RATE_NUM`].
+pub const FRAME_RATE_DEN: u64 = 1_001;
+
+/// Duration of one frame interval (1001/30000 s).
+pub fn frame_interval() -> SimDuration {
+    SimDuration::from_nanos(FRAME_RATE_DEN * 1_000_000_000 / FRAME_RATE_NUM)
+}
+
+/// Presentation time of frame `index` (first frame at t = 0).
+pub fn presentation_time(index: u32) -> SimTime {
+    SimTime::from_nanos(index as u64 * FRAME_RATE_DEN * 1_000_000_000 / FRAME_RATE_NUM)
+}
+
+/// Frames per second as a float (≈29.97).
+pub fn fps() -> f64 {
+    FRAME_RATE_NUM as f64 / FRAME_RATE_DEN as f64
+}
+
+/// MPEG picture type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Intra-coded: self-contained.
+    I,
+    /// Predicted from the previous anchor (I or P).
+    P,
+    /// Bidirectionally predicted from surrounding anchors.
+    B,
+    /// Single-layer predicted frame of the WMV-style codec (key frames are
+    /// represented as `I`).
+    Delta,
+}
+
+impl FrameKind {
+    /// True for frames other frames may reference.
+    pub fn is_anchor(self) -> bool {
+        matches!(self, FrameKind::I | FrameKind::P)
+    }
+}
+
+/// One frame as produced by an encoder model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodedFrame {
+    /// Display-order index (0-based).
+    pub index: u32,
+    /// Picture type.
+    pub kind: FrameKind,
+    /// Encoded size in bytes.
+    pub bytes: u32,
+    /// Encoding fidelity in (0, 1]: 1 = transparent, lower = visibly
+    /// quantized. Drives the VQM cross-reference comparisons.
+    pub fidelity: f64,
+}
+
+impl EncodedFrame {
+    /// Scheduled presentation time of this frame.
+    pub fn pts(&self) -> SimTime {
+        presentation_time(self.index)
+    }
+}
+
+/// Frame geometry used throughout the paper: 320×240.
+pub const FRAME_WIDTH: u32 = 320;
+/// See [`FRAME_WIDTH`].
+pub const FRAME_HEIGHT: u32 = 240;
+
+/// Size in bytes of one decoded 4:2:2 frame at the paper's geometry
+/// (153.6 kB — the paper's §3.2.1.1 disk-throughput calculation).
+pub const YUV422_FRAME_BYTES: u32 = FRAME_WIDTH * FRAME_HEIGHT * 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_rate_is_ntsc() {
+        assert!((fps() - 29.97).abs() < 0.01);
+        let iv = frame_interval();
+        assert!((iv.as_secs_f64() - 0.033_366).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_lengths_match_paper() {
+        // 2150 frames ≈ 71.74 s, 4219 frames ≈ 140.77 s (paper Table 2).
+        let lost = presentation_time(2150).as_secs_f64();
+        assert!((lost - 71.74).abs() < 0.02, "lost length {lost}");
+        let dark = presentation_time(4219).as_secs_f64();
+        assert!((dark - 140.77).abs() < 0.02, "dark length {dark}");
+    }
+
+    #[test]
+    fn presentation_times_are_monotone_and_spaced() {
+        let a = presentation_time(10);
+        let b = presentation_time(11);
+        let gap = b - a;
+        let iv = frame_interval();
+        let diff = gap.as_nanos().abs_diff(iv.as_nanos());
+        assert!(diff <= 1, "gap {gap} vs interval {iv}");
+    }
+
+    #[test]
+    fn decoded_frame_size_matches_paper() {
+        // 153.6 kbytes per frame (paper §3.2.1.1).
+        assert_eq!(YUV422_FRAME_BYTES, 153_600);
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(FrameKind::I.is_anchor());
+        assert!(FrameKind::P.is_anchor());
+        assert!(!FrameKind::B.is_anchor());
+        assert!(!FrameKind::Delta.is_anchor());
+    }
+}

@@ -1,0 +1,45 @@
+//! # dsv-media — the video substrate
+//!
+//! Everything about video content, independent of networks: procedural
+//! models of the paper's two clips (*Lost* and *Dark*), MPEG-1 CBR and
+//! WMV capped-VBR encoder models, the GOP/delta decode-dependency model
+//! that turns packet loss into frame loss, clip statistics (Tables 2–3,
+//! Figure 6), per-frame content features for the reduced-reference quality
+//! tool, and a pixel rasterizer + extractor that keeps the analytic
+//! features honest.
+//!
+//! ## Pipeline position
+//!
+//! ```text
+//! scene model ──► encoder ──► EncodedFrame sizes ──► dsv-stream (packets)
+//!      │             │
+//!      ▼             ▼
+//!  source features  fidelity ──► encoded features ──► dsv-vqm (scores)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decoder;
+pub mod encoder;
+pub mod features;
+pub mod frame;
+pub mod scene;
+pub mod stats;
+pub mod yuv;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::decoder::{decodable_frames, frame_loss_fraction};
+    pub use crate::encoder::mpeg1;
+    pub use crate::encoder::wmv;
+    pub use crate::encoder::EncodedClip;
+    pub use crate::features::{displayed_stream, encode_features, FeatureFrame, FeatureStream};
+    pub use crate::frame::{
+        fps, frame_interval, presentation_time, EncodedFrame, FrameKind, FRAME_HEIGHT,
+        FRAME_WIDTH,
+    };
+    pub use crate::scene::{ClipId, Scene, SceneModel};
+    pub use crate::stats::{rate_series, ClipStats};
+    pub use crate::yuv::{BigYuv, Rasterizer, YuvFrame};
+}

@@ -1,0 +1,135 @@
+//! Clip statistics — the `mpeg_stat`-style analysis behind the paper's
+//! Table 2/3 and Figure 6.
+//!
+//! The paper computed "rate information after every frame using the
+//! MPEG_stat tool" and plotted instantaneous transmission rates over
+//! 1-second windows. [`ClipStats`] reproduces those numbers from an
+//! [`EncodedClip`].
+
+use crate::encoder::EncodedClip;
+use crate::frame::fps;
+
+/// Summary statistics of an encoded clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipStats {
+    /// Total encoded bytes ("Bytes read" in Table 2).
+    pub total_bytes: u64,
+    /// Frame count.
+    pub frames: u32,
+    /// Duration in seconds.
+    pub length_secs: f64,
+    /// Mean frame size in bytes.
+    pub avg_frame_bytes: f64,
+    /// Maximum 1-second windowed rate, bits per second.
+    pub max_rate_bps: f64,
+    /// Long-run average rate, bits per second.
+    pub avg_rate_bps: f64,
+    /// Minimum 1-second windowed rate, bits per second.
+    pub min_rate_bps: f64,
+}
+
+impl ClipStats {
+    /// Analyze a clip with the standard 1-second rate window.
+    pub fn of(clip: &EncodedClip) -> ClipStats {
+        ClipStats::with_window(clip, fps().round() as usize)
+    }
+
+    /// Analyze with a custom rate window expressed in frames.
+    pub fn with_window(clip: &EncodedClip, window_frames: usize) -> ClipStats {
+        assert!(window_frames > 0);
+        let series = rate_series(clip, window_frames);
+        let (mut max, mut min) = (f64::MIN, f64::MAX);
+        for &(_, r) in &series {
+            max = max.max(r);
+            min = min.min(r);
+        }
+        ClipStats {
+            total_bytes: clip.total_bytes(),
+            frames: clip.frames.len() as u32,
+            length_secs: clip.duration_secs(),
+            avg_frame_bytes: clip.mean_frame_bytes(),
+            max_rate_bps: max,
+            avg_rate_bps: clip.average_bps(),
+            min_rate_bps: min,
+        }
+    }
+}
+
+/// Sliding-window rate series: one sample per frame, each covering the
+/// trailing `window_frames` frames (Figure 6's "instantaneous transmission
+/// rate"). Returns `(time_secs, bps)` pairs starting once a full window is
+/// available.
+pub fn rate_series(clip: &EncodedClip, window_frames: usize) -> Vec<(f64, f64)> {
+    let sizes: Vec<u64> = clip.frames.iter().map(|f| f.bytes as u64).collect();
+    if sizes.len() < window_frames {
+        return Vec::new();
+    }
+    let window_secs = window_frames as f64 / fps();
+    let mut out = Vec::with_capacity(sizes.len() - window_frames + 1);
+    let mut sum: u64 = sizes[..window_frames].iter().sum();
+    out.push(((window_frames - 1) as f64 / fps(), sum as f64 * 8.0 / window_secs));
+    for i in window_frames..sizes.len() {
+        sum += sizes[i];
+        sum -= sizes[i - window_frames];
+        out.push((i as f64 / fps(), sum as f64 * 8.0 / window_secs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::mpeg1::encode;
+    use crate::scene::ClipId;
+
+    #[test]
+    fn table2_shape_lost_17() {
+        // Paper row (Lost @1.7M): max 2,047,496; avg 1,702,659. The CBR
+        // controller must land the average within 1 % and the windowed max
+        // within the 1.1–1.3× band around the target.
+        let clip = encode(&ClipId::Lost.model(), 1_700_000);
+        let s = ClipStats::of(&clip);
+        assert_eq!(s.frames, 2150);
+        assert!((s.length_secs - 71.74).abs() < 0.05);
+        assert!((s.avg_rate_bps - 1_702_659.0).abs() / 1_702_659.0 < 0.01);
+        let max_ratio = s.max_rate_bps / s.avg_rate_bps;
+        assert!(
+            (1.08..=1.35).contains(&max_ratio),
+            "max/avg ratio {max_ratio:.3} (paper: 1.20)"
+        );
+        let min_ratio = s.min_rate_bps / s.avg_rate_bps;
+        assert!(
+            (0.6..=0.95).contains(&min_ratio),
+            "min/avg ratio {min_ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn rate_series_has_one_sample_per_frame_after_warmup() {
+        let clip = encode(&ClipId::Lost.model(), 1_000_000);
+        let s = rate_series(&clip, 30);
+        assert_eq!(s.len(), clip.frames.len() - 29);
+        // Times are monotone.
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn rate_series_short_clip_empty() {
+        let clip = EncodedClip {
+            frames: vec![],
+            target_bps: 1_000_000,
+            codec: "test",
+        };
+        assert!(rate_series(&clip, 30).is_empty());
+    }
+
+    #[test]
+    fn windowed_rates_bracket_average() {
+        let clip = encode(&ClipId::Dark.model(), 1_500_000);
+        let s = ClipStats::of(&clip);
+        assert!(s.min_rate_bps < s.avg_rate_bps);
+        assert!(s.avg_rate_bps < s.max_rate_bps);
+    }
+}

@@ -1,0 +1,108 @@
+//! The ingress-conditioning hook.
+//!
+//! Diff-Serv traffic conditioning (classification, metering, marking,
+//! policing, shaping) happens where packets *enter* a router. This crate
+//! knows nothing about token buckets — it only defines the [`Conditioner`]
+//! interface that `dsv-diffserv` implements and [`crate::network::Network`]
+//! invokes on every packet arriving at a router that has a conditioner
+//! attached.
+//!
+//! The interface is poll-based so that *shaping* (delaying non-conformant
+//! packets rather than dropping them) fits without callbacks: a conditioner
+//! may absorb a packet and name the time at which the network should poll it
+//! for releases.
+
+use dsv_sim::SimTime;
+
+use crate::packet::{DropReason, Packet};
+
+/// What a conditioner decided about one submitted packet.
+#[derive(Debug)]
+pub enum ConditionOutcome<P> {
+    /// Forward now (possibly re-marked).
+    Pass(Packet<P>),
+    /// Discard; the packet is returned for accounting.
+    Drop(Packet<P>, DropReason),
+    /// The conditioner absorbed the packet (shaping). The network must call
+    /// [`Conditioner::release`] at `poll_at`.
+    Absorbed {
+        /// When to poll for released packets.
+        poll_at: SimTime,
+    },
+}
+
+/// Released packets plus the next time to poll, if any packets remain
+/// absorbed.
+#[derive(Debug)]
+pub struct Released<P> {
+    /// Packets that became conformant and should be forwarded now, in order.
+    pub packets: Vec<Packet<P>>,
+    /// Next poll time, if the conditioner still holds packets.
+    pub next_poll: Option<SimTime>,
+}
+
+impl<P> Released<P> {
+    /// A release result carrying nothing.
+    pub fn empty() -> Self {
+        Released {
+            packets: Vec::new(),
+            next_poll: None,
+        }
+    }
+}
+
+/// An ingress traffic conditioner.
+pub trait Conditioner<P> {
+    /// Submit a packet arriving at the router.
+    fn submit(&mut self, now: SimTime, pkt: Packet<P>) -> ConditionOutcome<P>;
+
+    /// Poll for packets whose release time has come. Only called if a prior
+    /// [`ConditionOutcome::Absorbed`] or [`Released::next_poll`] asked for
+    /// it, but implementations must tolerate spurious polls.
+    fn release(&mut self, now: SimTime) -> Released<P>;
+}
+
+/// A conditioner that passes everything through untouched (routers without
+/// policies — e.g. the over-provisioned QBone core).
+#[derive(Debug, Default)]
+pub struct PassThrough;
+
+impl<P> Conditioner<P> for PassThrough {
+    fn submit(&mut self, _now: SimTime, pkt: Packet<P>) -> ConditionOutcome<P> {
+        ConditionOutcome::Pass(pkt)
+    }
+
+    fn release(&mut self, _now: SimTime) -> Released<P> {
+        Released::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Dscp, FlowId, NodeId, PacketId, Proto};
+
+    #[test]
+    fn passthrough_passes() {
+        let mut c = PassThrough;
+        let pkt: Packet<()> = Packet {
+            id: PacketId(7),
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 100,
+            dscp: Dscp::BEST_EFFORT,
+            proto: Proto::Udp,
+            fragment: None,
+            sent_at: SimTime::ZERO,
+            payload: (),
+        };
+        match Conditioner::submit(&mut c, SimTime::ZERO, pkt) {
+            ConditionOutcome::Pass(p) => assert_eq!(p.id, PacketId(7)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let rel: Released<()> = Conditioner::release(&mut c, SimTime::ZERO);
+        assert!(rel.packets.is_empty());
+        assert!(rel.next_poll.is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Frame-Relay interface profiles (paper Table 1).
+//!
+//! The local testbed's routers were interconnected by Frame Relay over HSSI
+//! and V.35 serial interfaces, each configured with a Committed Information
+//! Rate (CIR), Committed Burst size (Bc) and Excess Burst size (Be). The
+//! paper states the configuration's purpose plainly: *"The main purpose of
+//! the configurations used was to emulate a set of constant rate links
+//! connecting the different routers."* With Be = 0 and Bc = CIR·1s, a FR
+//! interface behaves as a constant-rate serial link at CIR, which is exactly
+//! how we realize it — a [`Link`] whose rate is the CIR.
+//!
+//! The V.35 interface caps out at E1 speed (2.048 Mbps); it was "the main
+//! bandwidth bottleneck of the system" and the reason the local experiments
+//! could not push token rates above ≈2 Mbps.
+
+use dsv_sim::SimDuration;
+
+use crate::link::Link;
+
+/// Physical interface type of a Frame-Relay circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrInterfaceType {
+    /// High-Speed Serial Interface (up to 52 Mbps).
+    Hssi,
+    /// V.35 serial (up to E1 = 2.048 Mbps).
+    V35,
+}
+
+impl FrInterfaceType {
+    /// Maximum line rate supported by the interface hardware, bits/s.
+    pub const fn max_rate_bps(self) -> u64 {
+        match self {
+            FrInterfaceType::Hssi => 52_000_000,
+            FrInterfaceType::V35 => 2_048_000,
+        }
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRelayProfile {
+    /// Committed Information Rate, bits per second.
+    pub cir_bps: u64,
+    /// Committed burst size, bits per Tc window.
+    pub bc_bits: u64,
+    /// Excess burst size, bits per Tc window.
+    pub be_bits: u64,
+    /// Physical interface.
+    pub interface: FrInterfaceType,
+}
+
+impl FrameRelayProfile {
+    /// Validate and build a profile.
+    ///
+    /// # Panics
+    /// Panics if CIR exceeds the interface's line rate — the same
+    /// configuration error a real router would reject.
+    pub fn new(cir_bps: u64, bc_bits: u64, be_bits: u64, interface: FrInterfaceType) -> Self {
+        assert!(
+            cir_bps <= interface.max_rate_bps(),
+            "CIR {cir_bps} exceeds {interface:?} line rate"
+        );
+        FrameRelayProfile {
+            cir_bps,
+            bc_bits,
+            be_bits,
+            interface,
+        }
+    }
+
+    /// The committed-rate measurement window Tc = Bc / CIR.
+    pub fn tc(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.bc_bits as f64 / self.cir_bps as f64)
+    }
+
+    /// Realize the circuit as a constant-rate link (Be = 0 ⇒ no excess
+    /// traffic is ever admitted, so the circuit is exactly a CIR-rate pipe).
+    pub fn as_link(&self, propagation: SimDuration) -> Link {
+        Link::new(self.cir_bps, propagation)
+    }
+}
+
+/// Table 1 of the paper: all three interfaces use CIR = Bc = 2·10⁶, Be = 0.
+pub mod table1 {
+    use super::*;
+
+    /// Router 1, interface FR 0 (V.35).
+    pub fn router1_fr0() -> FrameRelayProfile {
+        FrameRelayProfile::new(2_000_000, 2_000_000, 0, FrInterfaceType::V35)
+    }
+
+    /// Router 2, interface FR 1 (HSSI).
+    pub fn router2_fr1() -> FrameRelayProfile {
+        FrameRelayProfile::new(2_000_000, 2_000_000, 0, FrInterfaceType::Hssi)
+    }
+
+    /// Router 3, interface FR 0 (V.35).
+    pub fn router3_fr0() -> FrameRelayProfile {
+        FrameRelayProfile::new(2_000_000, 2_000_000, 0, FrInterfaceType::V35)
+    }
+
+    /// All rows in table order: (router, interface name, profile).
+    pub fn all() -> Vec<(u8, &'static str, FrameRelayProfile)> {
+        vec![
+            (1, "FR 0", router1_fr0()),
+            (2, "FR 1", router2_fr1()),
+            (3, "FR 0", router3_fr0()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        let rows = table1::all();
+        assert_eq!(rows.len(), 3);
+        for (_, _, p) in &rows {
+            assert_eq!(p.cir_bps, 2_000_000);
+            assert_eq!(p.bc_bits, 2_000_000);
+            assert_eq!(p.be_bits, 0);
+            assert_eq!(p.tc(), SimDuration::from_secs(1));
+        }
+        assert_eq!(rows[0].2.interface, FrInterfaceType::V35);
+        assert_eq!(rows[1].2.interface, FrInterfaceType::Hssi);
+    }
+
+    #[test]
+    fn cir_below_line_rate() {
+        // All Table 1 CIRs are below the V.35 E1 cap, as the paper notes.
+        assert!(2_000_000 < FrInterfaceType::V35.max_rate_bps());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn cir_above_line_rate_rejected() {
+        FrameRelayProfile::new(10_000_000, 10_000_000, 0, FrInterfaceType::V35);
+    }
+
+    #[test]
+    fn link_realization() {
+        let p = table1::router1_fr0();
+        let link = p.as_link(SimDuration::from_micros(50));
+        assert_eq!(link.rate_bps, 2_000_000);
+        // 1500 B at 2 Mbps = 6 ms serialization.
+        assert_eq!(link.serialization(1500), SimDuration::from_millis(6));
+    }
+}

@@ -1,0 +1,73 @@
+//! Point-to-point links.
+//!
+//! A [`Link`] models a simplex wire: a serialization rate in bits per second
+//! and a propagation delay. The paper's testbeds are built from three link
+//! classes — LAN segments (hosts to routers), Frame-Relay WAN circuits
+//! between routers (see [`crate::frame_relay`]), and the wide-area QBone
+//! path — all of which reduce to these two parameters plus queueing at the
+//! sending port.
+
+use dsv_sim::{SimDuration, SimTime};
+
+/// A simplex point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Serialization rate in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub propagation: SimDuration,
+}
+
+impl Link {
+    /// Construct a link.
+    pub const fn new(rate_bps: u64, propagation: SimDuration) -> Self {
+        Link {
+            rate_bps,
+            propagation,
+        }
+    }
+
+    /// A 10 Mbps Ethernet segment with negligible propagation delay —
+    /// the hubs used for local connectivity in the paper's testbed.
+    pub const fn ethernet_10mbps() -> Self {
+        Link::new(10_000_000, SimDuration::from_micros(5))
+    }
+
+    /// A 100 Mbps Ethernet segment.
+    pub const fn fast_ethernet() -> Self {
+        Link::new(100_000_000, SimDuration::from_micros(5))
+    }
+
+    /// Serialization time for a packet of `bytes` bytes.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        SimDuration::for_bytes_at_bps(bytes as u64, self.rate_bps)
+    }
+
+    /// Instant at which the last bit of a packet transmitted starting at
+    /// `start` reaches the far end.
+    pub fn arrival_time(&self, start: SimTime, bytes: u32) -> SimTime {
+        start + self.serialization(bytes) + self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_matches_rate() {
+        let l = Link::new(2_000_000, SimDuration::from_millis(1));
+        // 1500 B at 2 Mbps = 6 ms.
+        assert_eq!(l.serialization(1500), SimDuration::from_millis(6));
+        assert_eq!(
+            l.arrival_time(SimTime::ZERO, 1500),
+            SimTime::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn ethernet_profile() {
+        let l = Link::ethernet_10mbps();
+        assert_eq!(l.serialization(1500), SimDuration::from_micros(1200));
+    }
+}

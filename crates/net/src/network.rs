@@ -1,0 +1,785 @@
+//! The network world: topology, routing, forwarding, and the event loop
+//! glue.
+//!
+//! A [`Network`] owns hosts (with [`Application`]s), routers (with optional
+//! ingress [`Conditioner`]s), ports (with [`Qdisc`]s and [`Link`]s), and a
+//! [`NetStats`] collector. It implements [`dsv_sim::World`] over
+//! [`NetEvent`]; the [`Simulation`] wrapper bundles it with an event queue
+//! and start-up scheduling.
+//!
+//! Forwarding is store-and-forward: a packet is fully received at a node
+//! (serialization + propagation of the upstream link) before it is
+//! conditioned, routed, queued and re-serialized. Routing tables are
+//! computed once at build time by breadth-first search, so any connected
+//! topology works without manual route entry.
+
+use std::collections::{HashMap, VecDeque};
+
+use dsv_sim::{EventQueue, SimDuration, SimTime, World};
+
+use crate::app::{AppCommand, AppCtx, Application};
+use crate::conditioner::{ConditionOutcome, Conditioner};
+use crate::link::Link;
+use crate::packet::{DropReason, NodeId, Packet, PacketId, PortId};
+use crate::qdisc::{DropTailQueue, Qdisc, QueueLimits};
+use crate::stats::NetStats;
+
+/// Events the network world handles.
+#[derive(Debug)]
+pub enum NetEvent<P> {
+    /// Deliver the start callback to a host's application.
+    Start(NodeId),
+    /// Fire an application timer.
+    Timer {
+        /// Host whose application set the timer.
+        node: NodeId,
+        /// Opaque token from [`crate::app::AppCtx::set_timer`].
+        token: u64,
+    },
+    /// A packet has fully arrived at `node`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet.
+        packet: Packet<P>,
+    },
+    /// An output port finished serializing its current packet.
+    PortReady {
+        /// Node owning the port.
+        node: NodeId,
+        /// The port.
+        port: PortId,
+    },
+    /// Poll `node`'s conditioner for shaped packets that became conformant.
+    CondPoll(NodeId),
+}
+
+struct Port<P> {
+    link: Link,
+    peer: NodeId,
+    qdisc: Box<dyn Qdisc<P>>,
+    busy: bool,
+}
+
+enum NodeKind {
+    Host { start_at: SimTime },
+    Router,
+}
+
+struct Node<P> {
+    kind: NodeKind,
+    name: String,
+    ports: Vec<Port<P>>,
+    /// Next-hop port toward each destination host.
+    routes: HashMap<NodeId, PortId>,
+}
+
+/// Builds a [`Network`].
+pub struct NetworkBuilder<P> {
+    nodes: Vec<Node<P>>,
+    apps: Vec<Option<Box<dyn Application<P>>>>,
+    conditioners: Vec<Option<Box<dyn Conditioner<P>>>>,
+}
+
+impl<P: 'static> NetworkBuilder<P> {
+    /// Start an empty topology.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            nodes: Vec::new(),
+            apps: Vec::new(),
+            conditioners: Vec::new(),
+        }
+    }
+
+    /// Add a host running `app`, starting at t = 0.
+    pub fn add_host(&mut self, name: &str, app: Box<dyn Application<P>>) -> NodeId {
+        self.add_host_starting(name, app, SimTime::ZERO)
+    }
+
+    /// Add a host whose application starts at `start_at`.
+    pub fn add_host_starting(
+        &mut self,
+        name: &str,
+        app: Box<dyn Application<P>>,
+        start_at: SimTime,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Host { start_at },
+            name: name.to_string(),
+            ports: Vec::new(),
+            routes: HashMap::new(),
+        });
+        self.apps.push(Some(app));
+        self.conditioners.push(None);
+        id
+    }
+
+    /// Add a router.
+    pub fn add_router(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Router,
+            name: name.to_string(),
+            ports: Vec::new(),
+            routes: HashMap::new(),
+        });
+        self.apps.push(None);
+        self.conditioners.push(None);
+        id
+    }
+
+    /// Connect two nodes with symmetric links and unbounded FIFO ports.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
+        self.connect_with(
+            a,
+            b,
+            link,
+            link,
+            Box::new(DropTailQueue::new(QueueLimits::UNBOUNDED)),
+            Box::new(DropTailQueue::new(QueueLimits::UNBOUNDED)),
+        );
+    }
+
+    /// Connect two nodes with per-direction links and queueing disciplines.
+    /// `qdisc_ab` sits on `a`'s port toward `b`.
+    pub fn connect_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        link_ab: Link,
+        link_ba: Link,
+        qdisc_ab: Box<dyn Qdisc<P>>,
+        qdisc_ba: Box<dyn Qdisc<P>>,
+    ) {
+        assert_ne!(a, b, "self-loops are not allowed");
+        self.nodes[a.0 as usize].ports.push(Port {
+            link: link_ab,
+            peer: b,
+            qdisc: qdisc_ab,
+            busy: false,
+        });
+        self.nodes[b.0 as usize].ports.push(Port {
+            link: link_ba,
+            peer: a,
+            qdisc: qdisc_ba,
+            busy: false,
+        });
+    }
+
+    /// Attach an ingress conditioner to a router.
+    pub fn set_conditioner(&mut self, node: NodeId, cond: Box<dyn Conditioner<P>>) {
+        assert!(
+            matches!(self.nodes[node.0 as usize].kind, NodeKind::Router),
+            "conditioners attach to routers"
+        );
+        self.conditioners[node.0 as usize] = Some(cond);
+    }
+
+    /// Finalize: compute routes and return the network.
+    ///
+    /// # Panics
+    /// Panics if some host pair is disconnected (misbuilt topology) or a
+    /// host has other than exactly one port.
+    pub fn build(self) -> Network<P> {
+        let NetworkBuilder {
+            mut nodes,
+            apps,
+            conditioners,
+        } = self;
+
+        for node in &nodes {
+            if matches!(node.kind, NodeKind::Host { .. }) {
+                assert_eq!(
+                    node.ports.len(),
+                    1,
+                    "host {} must have exactly one access port",
+                    node.name
+                );
+            }
+        }
+
+        // Adjacency: (node, port index) -> peer.
+        let adj: Vec<Vec<NodeId>> = nodes
+            .iter()
+            .map(|n| n.ports.iter().map(|p| p.peer).collect())
+            .collect();
+
+        // For each destination host, BFS from the destination over the
+        // (symmetric) topology; each node's route is its port toward the
+        // BFS parent direction.
+        let host_ids: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Host { .. }))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+
+        for &dst in &host_ids {
+            let mut dist: Vec<Option<u32>> = vec![None; nodes.len()];
+            dist[dst.0 as usize] = Some(0);
+            let mut q = VecDeque::from([dst]);
+            while let Some(u) = q.pop_front() {
+                let du = dist[u.0 as usize].unwrap();
+                for &v in &adj[u.0 as usize] {
+                    if dist[v.0 as usize].is_none() {
+                        dist[v.0 as usize] = Some(du + 1);
+                        q.push_back(v);
+                    }
+                }
+            }
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if NodeId(i as u32) == dst {
+                    continue;
+                }
+                let Some(di) = dist[i] else {
+                    panic!(
+                        "node {} has no path to host {}",
+                        node.name, dst.0
+                    );
+                };
+                // Pick the first port whose peer is strictly closer.
+                let port = node
+                    .ports
+                    .iter()
+                    .position(|p| dist[p.peer.0 as usize].is_some_and(|dp| dp + 1 == di))
+                    .expect("BFS invariant: some neighbour is closer");
+                node.routes.insert(dst, PortId(port as u16));
+            }
+        }
+
+        Network {
+            nodes,
+            apps,
+            conditioners,
+            stats: NetStats::new(),
+            next_packet_id: 0,
+        }
+    }
+}
+
+impl<P: 'static> Default for NetworkBuilder<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The simulated network (see module docs).
+pub struct Network<P> {
+    nodes: Vec<Node<P>>,
+    apps: Vec<Option<Box<dyn Application<P>>>>,
+    conditioners: Vec<Option<Box<dyn Conditioner<P>>>>,
+    /// Statistics collector (public so experiments can enable tracing before
+    /// the run and read counters afterwards).
+    pub stats: NetStats,
+    next_packet_id: u64,
+}
+
+impl<P: 'static> Network<P> {
+    /// Schedule the start events for every host. Call once before running.
+    pub fn schedule_starts(&self, queue: &mut EventQueue<NetEvent<P>>) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Host { start_at } = node.kind {
+                queue.schedule(start_at, NetEvent::Start(NodeId(i as u32)));
+            }
+        }
+    }
+
+    /// Human-readable node name (diagnostics).
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0 as usize].name
+    }
+
+    /// Borrow an application back out of the network after a run (for
+    /// reading collected client-side state). Panics if `node` is a router.
+    pub fn app(&self, node: NodeId) -> &dyn Application<P> {
+        self.apps[node.0 as usize]
+            .as_deref()
+            .expect("node is not a host")
+    }
+
+    /// Mutable access to an application (test instrumentation).
+    pub fn app_mut(&mut self, node: NodeId) -> &mut (dyn Application<P> + 'static) {
+        self.apps[node.0 as usize]
+            .as_deref_mut()
+            .expect("node is not a host")
+    }
+
+    fn dispatch_app<F>(&mut self, now: SimTime, node: NodeId, f: F, queue: &mut EventQueue<NetEvent<P>>)
+    where
+        F: FnOnce(&mut dyn Application<P>, &mut AppCtx<P>),
+    {
+        let idx = node.0 as usize;
+        let mut app = self.apps[idx].take().expect("event for a router app");
+        let mut ctx = AppCtx::new(now, node);
+        f(app.as_mut(), &mut ctx);
+        let commands = ctx.take_commands();
+        self.apps[idx] = Some(app);
+        for cmd in commands {
+            match cmd {
+                AppCommand::SetTimer { delay, token } => {
+                    queue.schedule(now + delay, NetEvent::Timer { node, token });
+                }
+                AppCommand::Send(spec) => {
+                    let id = PacketId(self.next_packet_id);
+                    self.next_packet_id += 1;
+                    let pkt = Packet {
+                        id,
+                        flow: spec.flow,
+                        src: node,
+                        dst: spec.dst,
+                        size: spec.size,
+                        dscp: spec.dscp,
+                        proto: spec.proto,
+                        fragment: spec.fragment,
+                        sent_at: now,
+                        payload: spec.payload,
+                    };
+                    self.stats.on_sent(now, pkt.flow, pkt.id, pkt.size, node);
+                    // Hosts have exactly one port (asserted at build).
+                    self.enqueue_on_port(now, node, PortId(0), pkt, queue);
+                }
+            }
+        }
+    }
+
+    fn forward(&mut self, now: SimTime, node: NodeId, pkt: Packet<P>, queue: &mut EventQueue<NetEvent<P>>) {
+        let idx = node.0 as usize;
+        match self.nodes[idx].routes.get(&pkt.dst).copied() {
+            Some(port) => self.enqueue_on_port(now, node, port, pkt, queue),
+            None => {
+                self.stats
+                    .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, DropReason::NoRoute);
+            }
+        }
+    }
+
+    fn enqueue_on_port(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        pkt: Packet<P>,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) {
+        let idx = node.0 as usize;
+        let p = &mut self.nodes[idx].ports[port.0 as usize];
+        match p.qdisc.enqueue(pkt) {
+            Ok(()) => {
+                if !p.busy {
+                    self.transmit_next(now, node, port, queue);
+                }
+            }
+            Err(pkt) => {
+                self.stats.on_dropped(
+                    now,
+                    pkt.flow,
+                    pkt.id,
+                    pkt.size,
+                    node,
+                    DropReason::QueueOverflow,
+                );
+            }
+        }
+    }
+
+    fn transmit_next(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) {
+        let idx = node.0 as usize;
+        let p = &mut self.nodes[idx].ports[port.0 as usize];
+        debug_assert!(!p.busy);
+        if let Some(pkt) = p.qdisc.dequeue() {
+            p.busy = true;
+            let ser = p.link.serialization(pkt.size);
+            let arrive = p.link.arrival_time(now, pkt.size);
+            let peer = p.peer;
+            queue.schedule(now + ser, NetEvent::PortReady { node, port });
+            queue.schedule(arrive, NetEvent::Arrive { node: peer, packet: pkt });
+        }
+    }
+
+    fn condition_and_forward(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        pkt: Packet<P>,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) {
+        let idx = node.0 as usize;
+        if let Some(mut cond) = self.conditioners[idx].take() {
+            let outcome = cond.submit(now, pkt);
+            self.conditioners[idx] = Some(cond);
+            match outcome {
+                ConditionOutcome::Pass(pkt) => self.forward(now, node, pkt, queue),
+                ConditionOutcome::Drop(pkt, reason) => {
+                    self.stats
+                        .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, reason);
+                }
+                ConditionOutcome::Absorbed { poll_at } => {
+                    queue.schedule(poll_at.max(now), NetEvent::CondPoll(node));
+                }
+            }
+        } else {
+            self.forward(now, node, pkt, queue);
+        }
+    }
+
+    fn poll_conditioner(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent<P>>) {
+        let idx = node.0 as usize;
+        if let Some(mut cond) = self.conditioners[idx].take() {
+            let released = cond.release(now);
+            self.conditioners[idx] = Some(cond);
+            for pkt in released.packets {
+                self.forward(now, node, pkt, queue);
+            }
+            if let Some(next) = released.next_poll {
+                queue.schedule(next.max(now), NetEvent::CondPoll(node));
+            }
+        }
+    }
+}
+
+impl<P: 'static> World for Network<P> {
+    type Event = NetEvent<P>;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent<P>, queue: &mut EventQueue<NetEvent<P>>) {
+        match event {
+            NetEvent::Start(node) => {
+                self.dispatch_app(now, node, |app, ctx| app.on_start(ctx), queue);
+            }
+            NetEvent::Timer { node, token } => {
+                self.dispatch_app(now, node, |app, ctx| app.on_timer(ctx, token), queue);
+            }
+            NetEvent::PortReady { node, port } => {
+                let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
+                p.busy = false;
+                self.transmit_next(now, node, port, queue);
+            }
+            NetEvent::CondPoll(node) => self.poll_conditioner(now, node, queue),
+            NetEvent::Arrive { node, packet } => {
+                let idx = node.0 as usize;
+                match self.nodes[idx].kind {
+                    NodeKind::Router => self.condition_and_forward(now, node, packet, queue),
+                    NodeKind::Host { .. } => {
+                        if packet.dst == node {
+                            let delay = now.saturating_since(packet.sent_at);
+                            self.stats.on_delivered(
+                                now, packet.flow, packet.id, packet.size, node, delay,
+                            );
+                            self.dispatch_app(
+                                now,
+                                node,
+                                |app, ctx| app.on_packet(ctx, packet),
+                                queue,
+                            );
+                        } else {
+                            // A packet washed up at the wrong host: surface
+                            // as a routing drop rather than corrupting app
+                            // state.
+                            self.stats.on_dropped(
+                                now,
+                                packet.flow,
+                                packet.id,
+                                packet.size,
+                                node,
+                                DropReason::NoRoute,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A network bundled with its event queue: the convenient top-level runner.
+pub struct Simulation<P> {
+    /// The network world.
+    pub net: Network<P>,
+    /// The pending-event queue.
+    pub queue: EventQueue<NetEvent<P>>,
+}
+
+impl<P: 'static> Simulation<P> {
+    /// Wrap a built network and schedule host start events.
+    pub fn new(net: Network<P>) -> Self {
+        let mut queue = EventQueue::new();
+        net.schedule_starts(&mut queue);
+        Simulation { net, queue }
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self) -> dsv_sim::engine::RunStats {
+        dsv_sim::run(&mut self.net, &mut self.queue)
+    }
+
+    /// Run until `horizon` (inclusive).
+    pub fn run_until(&mut self, horizon: SimTime) -> dsv_sim::engine::RunStats {
+        dsv_sim::run_until(&mut self.net, &mut self.queue, horizon)
+    }
+
+    /// Run for `span` beyond the current queue time.
+    pub fn run_for(&mut self, span: SimDuration) -> dsv_sim::engine::RunStats {
+        let horizon = self.queue.now() + span;
+        self.run_until(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::SendSpec;
+    use crate::packet::{Dscp, FlowId, Proto};
+    use crate::qdisc::StrictPriorityQueue;
+
+    /// Sends `count` packets of `size` bytes, `gap` apart.
+    struct Blaster {
+        dst: NodeId,
+        flow: FlowId,
+        count: u32,
+        size: u32,
+        gap: SimDuration,
+        sent: u32,
+        dscp: Dscp,
+    }
+
+    impl Application<()> for Blaster {
+        fn on_start(&mut self, ctx: &mut AppCtx<()>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut AppCtx<()>, _pkt: Packet<()>) {}
+        fn on_timer(&mut self, ctx: &mut AppCtx<()>, _token: u64) {
+            if self.sent < self.count {
+                self.sent += 1;
+                ctx.send(SendSpec {
+                    dst: self.dst,
+                    flow: self.flow,
+                    size: self.size,
+                    dscp: self.dscp,
+                    proto: Proto::Udp,
+                    fragment: None,
+                    payload: (),
+                });
+                ctx.set_timer(self.gap, 0);
+            }
+        }
+    }
+
+    /// Records arrival times.
+    #[derive(Default)]
+    struct Recorder {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Application<()> for Recorder {
+        fn on_start(&mut self, _ctx: &mut AppCtx<()>) {}
+        fn on_packet(&mut self, ctx: &mut AppCtx<()>, _pkt: Packet<()>) {
+            self.arrivals.push(ctx.now());
+        }
+        fn on_timer(&mut self, _ctx: &mut AppCtx<()>, _token: u64) {}
+    }
+
+    fn two_hosts_one_router() -> (Simulation<()>, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let rx = b.add_host("rx", Box::new(Recorder::default()));
+        let r = b.add_router("r1");
+        let tx = b.add_host(
+            "tx",
+            Box::new(Blaster {
+                dst: rx,
+                flow: FlowId(1),
+                count: 10,
+                size: 1500,
+                gap: SimDuration::from_millis(10),
+                sent: 0,
+                dscp: Dscp::BEST_EFFORT,
+            }),
+        );
+        b.connect(tx, r, Link::ethernet_10mbps());
+        b.connect(r, rx, Link::ethernet_10mbps());
+        (Simulation::new(b.build()), tx, rx)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let (mut sim, _tx, rx) = two_hosts_one_router();
+        sim.run();
+        let c = sim.net.stats.flow(FlowId(1));
+        assert_eq!(c.tx_packets, 10);
+        assert_eq!(c.rx_packets, 10);
+        assert_eq!(c.total_drops(), 0);
+        // Delay = 2 × (1.2 ms serialization + 5 µs propagation).
+        assert_eq!(
+            c.delay.min,
+            SimDuration::from_micros(2 * (1200 + 5))
+        );
+        let _ = sim.net.app(rx); // hosts expose their application
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (mut a, _, _) = two_hosts_one_router();
+        let (mut b, _, _) = two_hosts_one_router();
+        let sa = a.run();
+        let sb = b.run();
+        assert_eq!(sa.dispatched, sb.dispatched);
+        assert_eq!(sa.end_time, sb.end_time);
+        let fa = a.net.stats.flow(FlowId(1));
+        let fb = b.net.stats.flow(FlowId(1));
+        assert_eq!(fa.delay.mean(), fb.delay.mean());
+    }
+
+    #[test]
+    fn bottleneck_queue_overflow_drops() {
+        let mut b = NetworkBuilder::new();
+        let rx = b.add_host("rx", Box::new(Recorder::default()));
+        let r = b.add_router("r1");
+        let tx = b.add_host(
+            "tx",
+            Box::new(Blaster {
+                dst: rx,
+                flow: FlowId(1),
+                count: 100,
+                size: 1500,
+                gap: SimDuration::ZERO, // all at once
+                sent: 0,
+                dscp: Dscp::BEST_EFFORT,
+            }),
+        );
+        b.connect(tx, r, Link::ethernet_10mbps());
+        // Slow bottleneck with a 5-packet queue toward rx.
+        b.connect_with(
+            r,
+            rx,
+            Link::new(1_000_000, SimDuration::from_micros(5)),
+            Link::new(1_000_000, SimDuration::from_micros(5)),
+            Box::new(DropTailQueue::new(QueueLimits::packets(5))),
+            Box::new(DropTailQueue::new(QueueLimits::UNBOUNDED)),
+        );
+        let mut sim = Simulation::new(b.build());
+        sim.run();
+        let c = sim.net.stats.flow(FlowId(1));
+        assert_eq!(c.tx_packets, 100);
+        assert!(c.drops_for(DropReason::QueueOverflow) > 0);
+        assert_eq!(
+            c.rx_packets + c.drops_for(DropReason::QueueOverflow),
+            100
+        );
+    }
+
+    #[test]
+    fn ef_priority_beats_best_effort_through_bottleneck() {
+        // Two blasters share a 2 Mbps bottleneck; the EF one is served
+        // strictly first, so its delay stays near the unloaded value.
+        let mut b = NetworkBuilder::new();
+        let rx = b.add_host("rx", Box::new(Recorder::default()));
+        let r = b.add_router("r1");
+        let ef_tx = b.add_host(
+            "ef",
+            Box::new(Blaster {
+                dst: rx,
+                flow: FlowId(1),
+                count: 50,
+                size: 1500,
+                gap: SimDuration::from_millis(10),
+                sent: 0,
+                dscp: Dscp::EF,
+            }),
+        );
+        let be_tx = b.add_host(
+            "be",
+            Box::new(Blaster {
+                dst: rx,
+                flow: FlowId(2),
+                count: 500,
+                size: 1500,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+                dscp: Dscp::BEST_EFFORT,
+            }),
+        );
+        b.connect(ef_tx, r, Link::ethernet_10mbps());
+        b.connect(be_tx, r, Link::ethernet_10mbps());
+        b.connect_with(
+            r,
+            rx,
+            Link::new(2_000_000, SimDuration::from_micros(5)),
+            Link::new(2_000_000, SimDuration::from_micros(5)),
+            Box::new(StrictPriorityQueue::ef_default(
+                QueueLimits::UNBOUNDED,
+                QueueLimits::packets(30),
+            )),
+            Box::new(DropTailQueue::new(QueueLimits::UNBOUNDED)),
+        );
+        let mut sim = Simulation::new(b.build());
+        sim.run();
+        let ef = sim.net.stats.flow(FlowId(1));
+        let be = sim.net.stats.flow(FlowId(2));
+        assert_eq!(ef.rx_packets, 50);
+        assert_eq!(ef.total_drops(), 0);
+        // EF max delay bounded by one BE packet in service plus its own
+        // serialization times; far below BE's queueing delay.
+        assert!(ef.delay.max < SimDuration::from_millis(16), "{:?}", ef.delay.max);
+        assert!(be.delay.max > ef.delay.max);
+        assert!(be.drops_for(DropReason::QueueOverflow) > 0);
+    }
+
+    #[test]
+    fn multihop_routing_works() {
+        // tx - r1 - r2 - r3 - rx chain.
+        let mut b = NetworkBuilder::new();
+        let rx = b.add_host("rx", Box::new(Recorder::default()));
+        let r1 = b.add_router("r1");
+        let r2 = b.add_router("r2");
+        let r3 = b.add_router("r3");
+        let tx = b.add_host(
+            "tx",
+            Box::new(Blaster {
+                dst: rx,
+                flow: FlowId(1),
+                count: 3,
+                size: 500,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+                dscp: Dscp::BEST_EFFORT,
+            }),
+        );
+        b.connect(tx, r1, Link::fast_ethernet());
+        b.connect(r1, r2, Link::fast_ethernet());
+        b.connect(r2, r3, Link::fast_ethernet());
+        b.connect(r3, rx, Link::fast_ethernet());
+        let mut sim = Simulation::new(b.build());
+        sim.run();
+        assert_eq!(sim.net.stats.flow(FlowId(1)).rx_packets, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no path")]
+    fn disconnected_topology_panics_at_build() {
+        let mut b: NetworkBuilder<()> = NetworkBuilder::new();
+        let h1 = b.add_host("a", Box::new(Recorder::default()));
+        let r1 = b.add_router("ra");
+        let h2 = b.add_host("b", Box::new(Recorder::default()));
+        let r2 = b.add_router("rb");
+        // Two islands: a—ra and b—rb.
+        b.connect(h1, r1, Link::fast_ethernet());
+        b.connect(h2, r2, Link::fast_ethernet());
+        b.build();
+    }
+
+    #[test]
+    fn run_for_advances_relative_horizon() {
+        let (mut sim, _, _) = two_hosts_one_router();
+        sim.run_for(SimDuration::from_millis(25));
+        let c = sim.net.stats.flow(FlowId(1));
+        // Packets at t≈0,10,20 ms have been sent; later ones pending.
+        assert_eq!(c.tx_packets, 3);
+        sim.run();
+        assert_eq!(sim.net.stats.flow(FlowId(1)).tx_packets, 10);
+    }
+}

@@ -1,0 +1,220 @@
+//! Packets and their identifiers.
+//!
+//! A [`Packet`] is what traverses the simulated network: a wire size, a
+//! Diff-Serv code point, addressing, optional IP-fragmentation bookkeeping,
+//! and a typed payload `P` supplied by the layer above (the streaming crate
+//! uses this to carry media/transport headers; tests often use `()`).
+//!
+//! The DSCP type lives here rather than in `dsv-diffserv` because queueing
+//! disciplines in this crate map code points to priority bands; the
+//! conditioning logic that *sets* code points lives in `dsv-diffserv`.
+
+use std::fmt;
+
+use dsv_sim::SimTime;
+
+/// Identifies a node (host or router) in a [`crate::network::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifies an output port on a node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+/// Identifies a flow (an application conversation) for classification and
+/// accounting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+/// Globally unique packet identifier, assigned at send time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(pub u64);
+
+/// A Differentiated Services code point (6 bits, RFC 2474).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dscp(pub u8);
+
+impl Dscp {
+    /// Default forwarding / best effort (000000).
+    pub const BEST_EFFORT: Dscp = Dscp(0b000000);
+    /// Expedited Forwarding (RFC 3246): 101110.
+    ///
+    /// The paper quotes the pre-RFC3246 QBone marking `101100`; both are
+    /// provided, and equality is on the raw bits, so testbeds pick one.
+    pub const EF: Dscp = Dscp(0b101110);
+    /// The EF code point as configured on the paper's routers (101100).
+    pub const EF_QBONE: Dscp = Dscp(0b101100);
+    /// Class selector 0..7 (backwards-compatible IP precedence).
+    pub const fn cs(class: u8) -> Dscp {
+        Dscp((class & 0x7) << 3)
+    }
+    /// Assured Forwarding class `c` in 1..=4, drop precedence `p` in 1..=3
+    /// (RFC 2597 layout: cccdd0).
+    pub const fn af(c: u8, p: u8) -> Dscp {
+        Dscp((c << 3) | (p << 1))
+    }
+
+    /// Raw 6-bit value.
+    pub const fn bits(self) -> u8 {
+        self.0 & 0x3F
+    }
+
+    /// True if this code point is one of the EF markings.
+    pub fn is_ef(self) -> bool {
+        self == Dscp::EF || self == Dscp::EF_QBONE
+    }
+}
+
+impl fmt::Debug for Dscp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ef() {
+            write!(f, "EF({:06b})", self.0)
+        } else if *self == Dscp::BEST_EFFORT {
+            write!(f, "BE")
+        } else {
+            write!(f, "DSCP({:06b})", self.0)
+        }
+    }
+}
+
+/// Transport protocol tag — affects nothing in the forwarding plane, but
+/// lets classifiers and traces distinguish streams.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Proto {
+    /// Datagram traffic (the paper's UDP streaming and cross traffic).
+    Udp,
+    /// The mini-TCP transport in `dsv-stream`.
+    Tcp,
+    /// Anything else.
+    Other,
+}
+
+/// IP-fragmentation bookkeeping.
+///
+/// Servers that write application datagrams larger than the MTU (the paper's
+/// NetShow Theater / ThunderCastIP behaviour, up to 16280 bytes) have them
+/// split into MTU-sized fragments by the host stack. Losing **any** fragment
+/// loses the whole datagram — the amplification behind the paper's
+/// "bi-modal" finding for such servers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FragmentInfo {
+    /// Identifies the original application datagram.
+    pub datagram: u64,
+    /// Index of this fragment within the datagram (0-based).
+    pub index: u16,
+    /// Total number of fragments in the datagram.
+    pub count: u16,
+}
+
+/// A packet on the wire.
+#[derive(Clone, Debug)]
+pub struct Packet<P> {
+    /// Unique id, assigned by the network at send time.
+    pub id: PacketId,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes on the wire, including all headers.
+    pub size: u32,
+    /// Diff-Serv code point currently marked on the packet.
+    pub dscp: Dscp,
+    /// Transport protocol tag.
+    pub proto: Proto,
+    /// Fragmentation bookkeeping, if this packet is an IP fragment.
+    pub fragment: Option<FragmentInfo>,
+    /// Time the packet left its source application.
+    pub sent_at: SimTime,
+    /// Typed payload carried for the receiving application.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// One-way delay experienced so far, relative to `now`.
+    pub fn age(&self, now: SimTime) -> dsv_sim::SimDuration {
+        now.saturating_since(self.sent_at)
+    }
+}
+
+/// Why a packet was discarded.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DropReason {
+    /// Token-bucket policer found it non-conformant.
+    PolicerNonConformant,
+    /// A shaper's delay queue overflowed.
+    ShaperOverflow,
+    /// A router/host queue was full.
+    QueueOverflow,
+    /// No route to the destination (configuration error surfaced as a drop
+    /// in stats rather than a panic inside the event loop).
+    NoRoute,
+    /// Dropped by an application-level decision (e.g. reassembly timeout).
+    Application,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::PolicerNonConformant => "policer",
+            DropReason::ShaperOverflow => "shaper-overflow",
+            DropReason::QueueOverflow => "queue-overflow",
+            DropReason::NoRoute => "no-route",
+            DropReason::Application => "application",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Ethernet MTU used throughout the paper's experiments.
+pub const ETHERNET_MTU: u32 = 1500;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dscp_constants() {
+        assert_eq!(Dscp::EF.bits(), 0b101110);
+        assert_eq!(Dscp::EF_QBONE.bits(), 0b101100);
+        assert!(Dscp::EF.is_ef());
+        assert!(Dscp::EF_QBONE.is_ef());
+        assert!(!Dscp::BEST_EFFORT.is_ef());
+        assert_eq!(Dscp::cs(5).bits(), 0b101000);
+        assert_eq!(Dscp::af(1, 1).bits(), 0b001010);
+        assert_eq!(Dscp::af(4, 3).bits(), 0b100110);
+    }
+
+    #[test]
+    fn dscp_debug_formatting() {
+        assert_eq!(format!("{:?}", Dscp::EF), "EF(101110)");
+        assert_eq!(format!("{:?}", Dscp::BEST_EFFORT), "BE");
+        assert_eq!(format!("{:?}", Dscp::cs(1)), "DSCP(001000)");
+    }
+
+    #[test]
+    fn packet_age() {
+        let p = Packet {
+            id: PacketId(1),
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1500,
+            dscp: Dscp::EF,
+            proto: Proto::Udp,
+            fragment: None,
+            sent_at: SimTime::from_millis(10),
+            payload: (),
+        };
+        assert_eq!(
+            p.age(SimTime::from_millis(25)),
+            dsv_sim::SimDuration::from_millis(15)
+        );
+        // Age never goes negative.
+        assert_eq!(
+            p.age(SimTime::from_millis(5)),
+            dsv_sim::SimDuration::ZERO
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Queueing disciplines for output ports.
+//!
+//! Two disciplines cover the paper's router configurations:
+//!
+//! * [`DropTailQueue`] — a plain FIFO with byte and packet limits, used on
+//!   hosts and best-effort ports;
+//! * [`StrictPriorityQueue`] — "a simple priority queue structure, with the
+//!   high priority queue being assigned to traffic marked with the EF DSCP"
+//!   (paper §3.2.1.2). Lower band index = higher priority; each band is its
+//!   own drop-tail FIFO.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Dscp, Packet};
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum EnqueueResult {
+    /// Packet accepted.
+    Queued,
+    /// Packet rejected (queue full); the caller owns the drop accounting.
+    Dropped,
+}
+
+/// A queueing discipline attached to an output port.
+///
+/// Disciplines are passive containers: the port logic calls
+/// [`Qdisc::enqueue`] on arrival and [`Qdisc::dequeue`] whenever the link
+/// becomes idle.
+pub trait Qdisc<P> {
+    /// Offer a packet. Returns [`EnqueueResult::Dropped`] if rejected; the
+    /// packet is handed back via the return slot in that case.
+    fn enqueue(&mut self, pkt: Packet<P>) -> Result<(), Packet<P>>;
+
+    /// Take the next packet to transmit, honouring the discipline's order.
+    fn dequeue(&mut self) -> Option<Packet<P>>;
+
+    /// Number of queued packets across all internal bands.
+    fn len(&self) -> usize;
+
+    /// Queued bytes across all internal bands.
+    fn bytes(&self) -> u64;
+
+    /// True if nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Capacity limits for a FIFO band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLimits {
+    /// Maximum queued packets (inclusive).
+    pub max_packets: usize,
+    /// Maximum queued bytes (inclusive).
+    pub max_bytes: u64,
+}
+
+impl QueueLimits {
+    /// A practically unlimited queue (used for host send buffers).
+    pub const UNBOUNDED: QueueLimits = QueueLimits {
+        max_packets: usize::MAX,
+        max_bytes: u64::MAX,
+    };
+
+    /// A limit expressed in packets only.
+    pub const fn packets(n: usize) -> QueueLimits {
+        QueueLimits {
+            max_packets: n,
+            max_bytes: u64::MAX,
+        }
+    }
+
+    /// A limit expressed in bytes only.
+    pub const fn bytes(n: u64) -> QueueLimits {
+        QueueLimits {
+            max_packets: usize::MAX,
+            max_bytes: n,
+        }
+    }
+}
+
+/// A drop-tail FIFO.
+#[derive(Debug)]
+pub struct DropTailQueue<P> {
+    q: VecDeque<Packet<P>>,
+    bytes: u64,
+    limits: QueueLimits,
+    /// Cumulative count of rejected packets (diagnostic).
+    pub drops: u64,
+}
+
+impl<P> DropTailQueue<P> {
+    /// Create with the given limits.
+    pub fn new(limits: QueueLimits) -> Self {
+        DropTailQueue {
+            q: VecDeque::new(),
+            bytes: 0,
+            limits,
+            drops: 0,
+        }
+    }
+
+    fn fits(&self, pkt_size: u32) -> bool {
+        self.q.len() < self.limits.max_packets
+            && self.bytes + pkt_size as u64 <= self.limits.max_bytes
+    }
+}
+
+impl<P> Qdisc<P> for DropTailQueue<P> {
+    fn enqueue(&mut self, pkt: Packet<P>) -> Result<(), Packet<P>> {
+        if self.fits(pkt.size) {
+            self.bytes += pkt.size as u64;
+            self.q.push_back(pkt);
+            Ok(())
+        } else {
+            self.drops += 1;
+            Err(pkt)
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Packet<P>> {
+        let pkt = self.q.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Maps a DSCP to a priority band (0 = highest priority).
+pub type BandClassifier = fn(Dscp) -> usize;
+
+/// The classifier used by the paper's routers: EF-marked packets go to the
+/// high-priority band 0, everything else to band 1.
+pub fn ef_high_priority(dscp: Dscp) -> usize {
+    if dscp.is_ef() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Strict priority scheduler over N drop-tail bands.
+///
+/// `dequeue` always serves the lowest-indexed non-empty band, emulating the
+/// paper's EF-over-best-effort service at every core router.
+pub struct StrictPriorityQueue<P> {
+    bands: Vec<DropTailQueue<P>>,
+    classify: BandClassifier,
+}
+
+impl<P> StrictPriorityQueue<P> {
+    /// Create with per-band limits; `limits.len()` fixes the band count.
+    pub fn new(limits: Vec<QueueLimits>, classify: BandClassifier) -> Self {
+        assert!(!limits.is_empty(), "need at least one band");
+        StrictPriorityQueue {
+            bands: limits.into_iter().map(DropTailQueue::new).collect(),
+            classify,
+        }
+    }
+
+    /// The standard two-band EF configuration used across the testbeds.
+    pub fn ef_default(ef_limits: QueueLimits, be_limits: QueueLimits) -> Self {
+        StrictPriorityQueue::new(vec![ef_limits, be_limits], ef_high_priority)
+    }
+
+    /// Number of queued packets in one band (diagnostic).
+    pub fn band_len(&self, band: usize) -> usize {
+        self.bands[band].len()
+    }
+
+    /// Cumulative drops in one band (diagnostic).
+    pub fn band_drops(&self, band: usize) -> u64 {
+        self.bands[band].drops
+    }
+}
+
+impl<P> Qdisc<P> for StrictPriorityQueue<P> {
+    fn enqueue(&mut self, pkt: Packet<P>) -> Result<(), Packet<P>> {
+        let band = (self.classify)(pkt.dscp).min(self.bands.len() - 1);
+        self.bands[band].enqueue(pkt)
+    }
+
+    fn dequeue(&mut self) -> Option<Packet<P>> {
+        self.bands.iter_mut().find_map(|b| b.dequeue())
+    }
+
+    fn len(&self) -> usize {
+        self.bands.iter().map(|b| b.q.len()).sum()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bands.iter().map(|b| b.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, PacketId, Proto};
+    use dsv_sim::SimTime;
+
+    fn pkt(id: u64, size: u32, dscp: Dscp) -> Packet<()> {
+        Packet {
+            id: PacketId(id),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            dscp,
+            proto: Proto::Udp,
+            fragment: None,
+            sent_at: SimTime::ZERO,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn droptail_fifo_order() {
+        let mut q = DropTailQueue::new(QueueLimits::UNBOUNDED);
+        for i in 0..5 {
+            q.enqueue(pkt(i, 100, Dscp::BEST_EFFORT)).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap().id, PacketId(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn droptail_packet_limit() {
+        let mut q = DropTailQueue::new(QueueLimits::packets(2));
+        assert!(q.enqueue(pkt(0, 100, Dscp::BEST_EFFORT)).is_ok());
+        assert!(q.enqueue(pkt(1, 100, Dscp::BEST_EFFORT)).is_ok());
+        let rejected = q.enqueue(pkt(2, 100, Dscp::BEST_EFFORT));
+        assert_eq!(rejected.unwrap_err().id, PacketId(2));
+        assert_eq!(q.drops, 1);
+        q.dequeue();
+        assert!(q.enqueue(pkt(3, 100, Dscp::BEST_EFFORT)).is_ok());
+    }
+
+    #[test]
+    fn droptail_byte_limit() {
+        let mut q = DropTailQueue::new(QueueLimits::bytes(3000));
+        assert!(q.enqueue(pkt(0, 1500, Dscp::BEST_EFFORT)).is_ok());
+        assert!(q.enqueue(pkt(1, 1500, Dscp::BEST_EFFORT)).is_ok());
+        assert!(q.enqueue(pkt(2, 1, Dscp::BEST_EFFORT)).is_err());
+        assert_eq!(q.bytes(), 3000);
+        q.dequeue();
+        assert_eq!(q.bytes(), 1500);
+        assert!(q.enqueue(pkt(3, 1500, Dscp::BEST_EFFORT)).is_ok());
+    }
+
+    #[test]
+    fn priority_serves_ef_first() {
+        let mut q: StrictPriorityQueue<()> =
+            StrictPriorityQueue::ef_default(QueueLimits::packets(10), QueueLimits::packets(10));
+        q.enqueue(pkt(0, 100, Dscp::BEST_EFFORT)).unwrap();
+        q.enqueue(pkt(1, 100, Dscp::EF)).unwrap();
+        q.enqueue(pkt(2, 100, Dscp::BEST_EFFORT)).unwrap();
+        q.enqueue(pkt(3, 100, Dscp::EF_QBONE)).unwrap();
+        assert_eq!(q.dequeue().unwrap().id, PacketId(1));
+        assert_eq!(q.dequeue().unwrap().id, PacketId(3));
+        assert_eq!(q.dequeue().unwrap().id, PacketId(0));
+        assert_eq!(q.dequeue().unwrap().id, PacketId(2));
+    }
+
+    #[test]
+    fn priority_band_isolation_on_overflow() {
+        let mut q: StrictPriorityQueue<()> =
+            StrictPriorityQueue::ef_default(QueueLimits::packets(1), QueueLimits::packets(10));
+        q.enqueue(pkt(0, 100, Dscp::EF)).unwrap();
+        // EF band full: EF packet dropped, BE unaffected.
+        assert!(q.enqueue(pkt(1, 100, Dscp::EF)).is_err());
+        assert!(q.enqueue(pkt(2, 100, Dscp::BEST_EFFORT)).is_ok());
+        assert_eq!(q.band_drops(0), 1);
+        assert_eq!(q.band_len(1), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_band_clamps() {
+        fn everything_band_9(_: Dscp) -> usize {
+            9
+        }
+        let mut q: StrictPriorityQueue<()> =
+            StrictPriorityQueue::new(vec![QueueLimits::packets(4); 2], everything_band_9);
+        q.enqueue(pkt(0, 10, Dscp::BEST_EFFORT)).unwrap();
+        assert_eq!(q.band_len(1), 1);
+    }
+
+    #[test]
+    fn bytes_accounting_across_bands() {
+        let mut q: StrictPriorityQueue<()> =
+            StrictPriorityQueue::ef_default(QueueLimits::UNBOUNDED, QueueLimits::UNBOUNDED);
+        q.enqueue(pkt(0, 700, Dscp::EF)).unwrap();
+        q.enqueue(pkt(1, 300, Dscp::BEST_EFFORT)).unwrap();
+        assert_eq!(q.bytes(), 1000);
+        q.dequeue();
+        assert_eq!(q.bytes(), 300);
+    }
+}

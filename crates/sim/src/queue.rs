@@ -1,0 +1,219 @@
+//! The time-ordered event queue.
+//!
+//! [`EventQueue`] is a binary heap of `(time, sequence, event)` triples.
+//! The sequence number makes ordering **total and stable**: two events
+//! scheduled for the same instant are delivered in scheduling order. This is
+//! what makes simulations reproducible — component interleavings never
+//! depend on `BinaryHeap` internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E` with stable FIFO tie-breaking.
+///
+/// ```
+/// use dsv_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "b");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// q.schedule(SimTime::from_millis(2), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(2), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(2), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// The timestamp of the most recently popped event; scheduling into the
+    /// past is a logic error and panics (debug builds and release alike —
+    /// a causality violation invalidates the whole run).
+    watermark: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the last popped event's time — that
+    /// would mean a component tried to rewrite history.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.watermark,
+            "causality violation: scheduling at {at} before current time {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event together with its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.watermark);
+        self.watermark = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently delivered event (the queue's notion of
+    /// "now").
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for i in (0..100u64).rev() {
+            q.schedule(SimTime::from_nanos(i * 10), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..50 {
+            q.schedule(t, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.pop();
+        q.schedule(SimTime::from_secs(1), 2); // same instant: fine
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 2)));
+    }
+
+    #[test]
+    fn peek_and_now_track_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(3), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(3));
+        assert_eq!(q.scheduled_count(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_stable() {
+        // Schedule batches while draining; FIFO order must hold per instant.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, 0);
+        q.schedule(t + SimDuration::from_nanos(1), 10);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule(t + SimDuration::from_nanos(1), 11);
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 11);
+    }
+}

@@ -1,0 +1,391 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! All time in the workspace is virtual. [`SimTime`] is an absolute instant
+//! measured from the start of the simulation; [`SimDuration`] is a span.
+//! Both wrap a `u64` count of nanoseconds, which covers simulations of
+//! roughly 584 years — comfortably more than a 150-second video clip.
+//!
+//! Rates are expressed in bits per second throughout the workspace (the
+//! paper's token rates and encoding rates are all quoted in bps), and the
+//! conversion helpers here ([`SimDuration::for_bytes_at_bps`],
+//! [`SimTime::advance_bytes`]) are the single place where bytes, bits and
+//! time meet, so rounding behaviour is consistent everywhere.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds in one second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An absolute instant of virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Panics on negative or non-finite
+    /// input: virtual time never runs backwards.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        SimTime((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Elapsed time since `earlier`, saturating to zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference: `None` if `earlier` is after `self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// The instant after transmitting `bytes` at `bps` bits per second,
+    /// starting at `self`. Saturates rather than overflowing.
+    #[inline]
+    pub fn advance_bytes(self, bytes: u64, bps: u64) -> SimTime {
+        self + SimDuration::for_bytes_at_bps(bytes, bps)
+    }
+
+    /// Midpoint between two instants (used by analysis helpers when
+    /// bisecting for quality cutoffs).
+    #[inline]
+    pub fn midpoint(self, other: SimTime) -> SimTime {
+        SimTime(self.0 / 2 + other.0 / 2 + (self.0 & other.0 & 1))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Panics on negative or non-finite
+    /// input.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// This span as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// True if the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Serialization time of `bytes` bytes at `bps` bits per second,
+    /// rounded up to the next nanosecond so that link capacity is never
+    /// overstated. A rate of zero yields [`SimDuration::MAX`] (a stalled
+    /// link), which callers treat as "never".
+    #[inline]
+    pub fn for_bytes_at_bps(bytes: u64, bps: u64) -> SimDuration {
+        if bps == 0 {
+            return SimDuration::MAX;
+        }
+        let bits = (bytes as u128) * 8;
+        let ns = (bits * NANOS_PER_SEC as u128).div_ceil(bps as u128);
+        SimDuration(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// The number of whole bytes worth of credit accumulated over this span
+    /// at `bps` bits per second (rounded down: credit is never invented).
+    #[inline]
+    pub fn bytes_at_bps(self, bps: u64) -> u64 {
+        let bits = (self.0 as u128) * (bps as u128) / NANOS_PER_SEC as u128;
+        u64::try_from(bits / 8).unwrap_or(u64::MAX)
+    }
+
+    /// Multiply by an integer factor, saturating.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics if `rhs` is after `self`; use [`SimTime::saturating_since`]
+    /// when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_millis_f64(), 250.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(5), SimDuration::from_millis(10));
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(1)),
+            SimDuration::ZERO
+        );
+        assert_eq!(t.checked_since(SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn instant_subtraction_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 1500 bytes at 12 kbps = exactly 1 s.
+        assert_eq!(
+            SimDuration::for_bytes_at_bps(1500, 12_000),
+            SimDuration::from_secs(1)
+        );
+        // 1 byte at 1 Gbps = 8 ns exactly.
+        assert_eq!(
+            SimDuration::for_bytes_at_bps(1, 1_000_000_000),
+            SimDuration::from_nanos(8)
+        );
+        // Non-divisible case rounds up: 1 byte at 3 bps = 8/3 s -> ceil.
+        let d = SimDuration::for_bytes_at_bps(1, 3);
+        assert_eq!(d.as_nanos(), (8 * NANOS_PER_SEC).div_ceil(3));
+    }
+
+    #[test]
+    fn zero_rate_never_completes() {
+        assert_eq!(SimDuration::for_bytes_at_bps(1, 0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn credit_accumulation_rounds_down() {
+        // 1 ms at 1 Mbps = 1000 bits = 125 bytes.
+        assert_eq!(SimDuration::from_millis(1).bytes_at_bps(1_000_000), 125);
+        // 1 ns at 1 bps = essentially nothing.
+        assert_eq!(SimDuration::from_nanos(1).bytes_at_bps(1), 0);
+    }
+
+    #[test]
+    fn credit_and_serialization_are_inverse_within_rounding() {
+        for &(bytes, bps) in &[(1500u64, 2_000_000u64), (40, 64_000), (9000, 1_700_000)] {
+            let d = SimDuration::for_bytes_at_bps(bytes, bps);
+            let back = d.bytes_at_bps(bps);
+            assert!(back >= bytes, "{back} < {bytes}");
+            assert!(back <= bytes + 1, "{back} > {bytes}+1");
+        }
+    }
+
+    #[test]
+    fn advance_bytes() {
+        let t0 = SimTime::from_secs(1);
+        assert_eq!(
+            t0.advance_bytes(1500, 12_000),
+            SimTime::from_secs(2),
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500000s");
+        assert_eq!(format!("{:?}", SimDuration::from_millis(2)), "0.002000s");
+    }
+}

@@ -1,0 +1,45 @@
+//! # dsv-stream — streaming servers, clients and transports
+//!
+//! The application layer of the reproduction: the server transmission
+//! disciplines the paper found decisive (paced / bursty / adaptive / TCP),
+//! the instrumented client with the paper's storage-filter + concealment
+//! pipeline, packetization (including large-datagram IP fragmentation),
+//! and a Reno-style mini-TCP.
+//!
+//! The flow of a session:
+//!
+//! ```text
+//!  server (paced|bursty|adaptive|tcp)         client
+//!    read clip in real time  ──packets──►  reassembly (chunks/bytes)
+//!    pacing / fragmentation               storage filter (arrival times)
+//!    adaptation ◄──feedback──             decode deps -> playback model
+//!                                          └──► ClientReport -> dsv-vqm
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod packetize;
+pub mod payload;
+pub mod playback;
+pub mod server;
+pub mod tcp;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::client::{ClientConfig, ClientMode, ClientReport, StreamClient};
+    pub use crate::packetize::{
+        byte_ranges, chunks_for, frame_chunks, frame_datagrams, ChunkSpec, LARGE_DATAGRAM_BYTES,
+    };
+    pub use crate::payload::{
+        ControlMsg, FeedbackReport, MediaChunk, StreamPayload, TcpSegment,
+    };
+    pub use crate::playback::{playback_schedule, PlaybackConfig, PlaybackResult};
+    pub use crate::server::adaptive::{AdaptiveConfig, AdaptiveServer};
+    pub use crate::server::bursty::{BurstyConfig, BurstyServer};
+    pub use crate::server::paced::{PacedConfig, PacedServer};
+    pub use crate::server::tcp_server::{TcpServerConfig, TcpStreamServer};
+    pub use crate::server::Pacer;
+    pub use crate::tcp::{TcpReceiver, TcpSender, MSS};
+}

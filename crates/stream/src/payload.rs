@@ -1,0 +1,130 @@
+//! Packet payloads spoken between streaming servers and clients.
+//!
+//! `dsv-net` carries an opaque payload type `P`; this crate instantiates it
+//! with [`StreamPayload`]: media chunks (UDP streaming), mini-TCP segments
+//! (TCP streaming), client feedback reports (the adaptive server's control
+//! loop) and MMS-style session control messages.
+
+use dsv_sim::SimDuration;
+
+/// Payload of every packet exchanged by the streaming applications.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum StreamPayload {
+    /// Cross/background traffic with no application semantics (also the
+    /// `Default`, so the generic traffic generators in `dsv-net` can emit
+    /// it).
+    #[default]
+    Background,
+    /// A chunk of one encoded media frame, streamed over UDP.
+    Media(MediaChunk),
+    /// A mini-TCP segment (media bytes or pure ACK).
+    Tcp(TcpSegment),
+    /// Client → server receiver report.
+    Feedback(FeedbackReport),
+    /// Session control (MMS-style).
+    Control(ControlMsg),
+}
+
+/// One chunk of an encoded frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MediaChunk {
+    /// Global sequence number (for receiver-side loss estimation).
+    pub seq: u64,
+    /// Display-order frame index this chunk belongs to.
+    pub frame_index: u32,
+    /// Chunk ordinal within the frame (0-based).
+    pub chunk: u16,
+    /// Total chunks in the frame.
+    pub chunks_in_frame: u16,
+    /// True if this is repair/padding traffic (the adaptive server's
+    /// loss-compensation bytes), which carries no new frame data.
+    pub repair: bool,
+    /// Encoding fidelity of the frame this chunk belongs to. A real
+    /// client never sees this on the wire, but the decoded pixels carry
+    /// it implicitly; transporting it with the chunk emulates "the
+    /// decoded frame reflects the encoding that was streamed" (multi-rate
+    /// servers switch encodings mid-stream).
+    pub fidelity: f64,
+}
+
+/// A mini-TCP segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// First byte-stream offset carried (meaningless if `len == 0`).
+    pub seq: u64,
+    /// Payload bytes carried.
+    pub len: u32,
+    /// Cumulative acknowledgement: next byte expected by the sender of
+    /// this segment.
+    pub ack: u64,
+    /// True for segments from the receiver side (pure ACKs).
+    pub is_ack: bool,
+}
+
+/// Periodic receiver report driving the adaptive server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackReport {
+    /// Report ordinal.
+    pub seq: u64,
+    /// Fraction of packets lost in the reporting window (0–1).
+    pub loss_fraction: f64,
+    /// Mean one-way delay observed in the window.
+    pub mean_delay: SimDuration,
+    /// Goodput observed in the window, bits per second.
+    pub goodput_bps: f64,
+}
+
+/// MMS-style session control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Client asks the server to describe the content.
+    Describe,
+    /// Server's reply: frame count and nominal rate of the selected
+    /// encoding.
+    DescribeReply {
+        /// Number of frames in the clip.
+        frames: u32,
+        /// Nominal (target or cap) encoding rate in bits per second.
+        nominal_bps: u64,
+    },
+    /// Client requests playback.
+    Play,
+    /// Client tears the session down (e.g. gives up on an unusable
+    /// connection, as the paper's clients eventually did).
+    Teardown,
+}
+
+/// Wire size of a pure control packet.
+pub const CONTROL_PACKET_BYTES: u32 = 64;
+/// Wire size of a feedback packet.
+pub const FEEDBACK_PACKET_BYTES: u32 = 72;
+/// Wire size of a pure ACK.
+pub const ACK_PACKET_BYTES: u32 = 40;
+/// Transport+IP header overhead on media packets.
+pub const HEADER_BYTES: u32 = 28;
+/// Maximum media payload per packet (Ethernet MTU minus headers).
+pub const MAX_PAYLOAD_BYTES: u32 = 1472;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_plus_header_is_mtu() {
+        assert_eq!(MAX_PAYLOAD_BYTES + HEADER_BYTES, 1500);
+    }
+
+    #[test]
+    fn payload_variants_are_distinguishable() {
+        let m = StreamPayload::Media(MediaChunk {
+            seq: 1,
+            frame_index: 2,
+            chunk: 0,
+            chunks_in_frame: 3,
+            repair: false,
+            fidelity: 1.0,
+        });
+        let c = StreamPayload::Control(ControlMsg::Play);
+        assert_ne!(m, c);
+    }
+}

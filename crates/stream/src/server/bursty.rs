@@ -1,0 +1,238 @@
+//! The bursty (NetShow-Theater-style) streaming server.
+//!
+//! "The first two servers are configured to generate large datagrams that
+//! can be up to 16280 bytes long, and which are then fragmented into
+//! smaller (1500-byte) packets by the IP stack on the server itself prior
+//! to their transmission on the network. This results in the generation of
+//! relatively large bursts of back-to-back packets" (paper §2.2). Each
+//! frame is written as one or more large datagrams at its read time; the
+//! host port serializes the fragments back-to-back at line rate.
+//!
+//! Against a two-MTU EF policer this is catastrophic — most of each burst
+//! is non-conformant, and losing any fragment loses the datagram — which is
+//! precisely the paper's "bi-modal" finding for these servers.
+
+use dsv_media::encoder::EncodedClip;
+use dsv_media::frame::EncodedFrame;
+use dsv_net::app::{AppCtx, Application, SendSpec};
+use dsv_net::packet::{Dscp, FlowId, FragmentInfo, NodeId, Packet, Proto};
+use dsv_sim::{SimDuration, SimTime};
+
+use crate::packetize::frame_datagrams;
+use crate::payload::{ControlMsg, MediaChunk, StreamPayload, CONTROL_PACKET_BYTES};
+use crate::server::{read_time, TOK_FRAME};
+
+/// Bursty-server configuration.
+#[derive(Debug, Clone)]
+pub struct BurstyConfig {
+    /// Destination client.
+    pub client: NodeId,
+    /// Media flow id.
+    pub flow: FlowId,
+    /// DSCP pre-marking.
+    pub dscp: Dscp,
+    /// Wait for `Play` before streaming.
+    pub wait_for_play: bool,
+}
+
+/// The bursty server application.
+pub struct BurstyServer {
+    cfg: BurstyConfig,
+    frames: Vec<EncodedFrame>,
+    nominal_bps: u64,
+    next_frame: u32,
+    next_datagram: u64,
+    seq: u64,
+    play_start: Option<SimTime>,
+    /// Total media packets handed to the network (diagnostics).
+    pub packets_sent: u64,
+}
+
+impl BurstyServer {
+    /// Create a server for one encoded clip.
+    pub fn new(cfg: BurstyConfig, clip: &EncodedClip) -> BurstyServer {
+        BurstyServer {
+            cfg,
+            frames: clip.frames.clone(),
+            nominal_bps: clip.target_bps,
+            next_frame: 0,
+            next_datagram: 0,
+            seq: 0,
+            play_start: None,
+            packets_sent: 0,
+        }
+    }
+
+    fn begin(&mut self, ctx: &mut AppCtx<StreamPayload>) {
+        if self.play_start.is_some() {
+            return;
+        }
+        self.play_start = Some(ctx.now());
+        ctx.set_timer(SimDuration::ZERO, TOK_FRAME);
+    }
+
+    fn emit_frame(&mut self, ctx: &mut AppCtx<StreamPayload>, index: u32) {
+        let f = self.frames[index as usize];
+        let chunks = frame_datagrams(&f, &mut self.next_datagram);
+        for c in &chunks {
+            let dgram = c.datagram.expect("datagram packetizer sets ids");
+            let frags_in_dgram = chunks
+                .iter()
+                .filter(|x| x.datagram == c.datagram)
+                .count() as u16;
+            let frag_index = chunks[..]
+                .iter()
+                .take_while(|x| x.chunk != c.chunk)
+                .filter(|x| x.datagram == c.datagram)
+                .count() as u16;
+            let seq = self.seq;
+            self.seq += 1;
+            self.packets_sent += 1;
+            ctx.send(SendSpec {
+                dst: self.cfg.client,
+                flow: self.cfg.flow,
+                size: c.wire_bytes,
+                dscp: self.cfg.dscp,
+                proto: Proto::Udp,
+                fragment: Some(FragmentInfo {
+                    datagram: dgram,
+                    index: frag_index,
+                    count: frags_in_dgram,
+                }),
+                payload: StreamPayload::Media(MediaChunk {
+                    seq,
+                    frame_index: c.frame_index,
+                    chunk: c.chunk,
+                    chunks_in_frame: c.chunks_in_frame,
+                    repair: false,
+                    fidelity: f.fidelity,
+                }),
+            });
+        }
+    }
+}
+
+impl Application<StreamPayload> for BurstyServer {
+    fn on_start(&mut self, ctx: &mut AppCtx<StreamPayload>) {
+        if !self.cfg.wait_for_play {
+            self.begin(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut AppCtx<StreamPayload>, pkt: Packet<StreamPayload>) {
+        match pkt.payload {
+            StreamPayload::Control(ControlMsg::Describe) => {
+                ctx.send(SendSpec {
+                    dst: self.cfg.client,
+                    flow: self.cfg.flow,
+                    size: CONTROL_PACKET_BYTES,
+                    dscp: Dscp::BEST_EFFORT,
+                    proto: Proto::Tcp,
+                    fragment: None,
+                    payload: StreamPayload::Control(ControlMsg::DescribeReply {
+                        frames: self.frames.len() as u32,
+                        nominal_bps: self.nominal_bps,
+                    }),
+                });
+            }
+            StreamPayload::Control(ControlMsg::Play) => self.begin(ctx),
+            StreamPayload::Control(ControlMsg::Teardown) => {
+                self.next_frame = self.frames.len() as u32;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<StreamPayload>, token: u64) {
+        if token != TOK_FRAME {
+            return;
+        }
+        let start = self.play_start.expect("playing");
+        while (self.next_frame as usize) < self.frames.len()
+            && read_time(start, self.next_frame) <= ctx.now()
+        {
+            let idx = self.next_frame;
+            self.emit_frame(ctx, idx);
+            self.next_frame += 1;
+        }
+        if (self.next_frame as usize) < self.frames.len() {
+            let next_at = read_time(start, self.next_frame);
+            ctx.set_timer(next_at.saturating_since(ctx.now()), TOK_FRAME);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_media::encoder::mpeg1;
+    use dsv_media::scene::ClipId;
+    use dsv_net::link::Link;
+    use dsv_net::network::{NetworkBuilder, Simulation};
+    use dsv_net::traffic::CountingSink;
+
+    #[test]
+    fn emits_whole_clip_in_frame_bursts() {
+        let clip = mpeg1::encode(&ClipId::Lost.model(), 1_700_000);
+        let total = clip.total_bytes();
+        let mut b = NetworkBuilder::new();
+        let sink = b.add_host("client", Box::new(CountingSink::default()));
+        let r = b.add_router("r");
+        let server = b.add_host(
+            "server",
+            Box::new(BurstyServer::new(
+                BurstyConfig {
+                    client: sink,
+                    flow: FlowId(1),
+                    dscp: Dscp::EF,
+                    wait_for_play: false,
+                },
+                &clip,
+            )),
+        );
+        b.connect(server, r, Link::fast_ethernet());
+        b.connect(r, sink, Link::fast_ethernet());
+        let mut net = b.build();
+        net.stats.trace_flow(FlowId(1));
+        let mut sim = Simulation::new(net);
+        sim.run();
+        let s = sim.net.stats.flow(FlowId(1));
+        assert_eq!(s.total_drops(), 0);
+        assert_eq!(s.rx_bytes - s.rx_packets * 28, total);
+        // Burstiness check: the largest 10 ms window should carry many
+        // packets back-to-back (an I frame is ~13 MTUs).
+        let series = sim
+            .net
+            .stats
+            .send_rate_series(FlowId(1), SimDuration::from_millis(10));
+        let peak = series.iter().map(|(_, r)| *r).fold(0.0, f64::max);
+        assert!(
+            peak > 8_000_000.0,
+            "peak 10 ms window rate {peak} should be near line rate"
+        );
+    }
+
+    #[test]
+    fn fragments_carry_datagram_identity() {
+        let clip = mpeg1::encode(&ClipId::Lost.model(), 1_700_000);
+        let mut server = BurstyServer::new(
+            BurstyConfig {
+                client: NodeId(0),
+                flow: FlowId(1),
+                dscp: Dscp::EF,
+                wait_for_play: false,
+            },
+            &clip,
+        );
+        let mut ctx = AppCtx::new(SimTime::ZERO, NodeId(2));
+        server.play_start = Some(SimTime::ZERO);
+        server.emit_frame(&mut ctx, 0);
+        let cmds = ctx.take_commands();
+        assert!(cmds.len() > 5, "I frame should fragment heavily");
+        for cmd in &cmds {
+            if let dsv_net::app::AppCommand::Send(s) = cmd {
+                assert!(s.fragment.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Temporal calibration.
+//!
+//! The VQM tool "performs both spatial and temporal calibration" before
+//! scoring, searching an **alignment uncertainty** window for the shift
+//! that best aligns the received frames with the reference (paper §3.1.3).
+//! Our reduced-reference features have no spatial shift by construction,
+//! so calibration is purely temporal: find the offset that maximizes the
+//! normalized cross-correlation of the TI (motion) profiles.
+//!
+//! Calibration *fails* when no candidate offset produces a decent
+//! correlation — which is exactly what happens to heavily impaired
+//! segments (long freezes destroy the motion profile). The paper handles
+//! those segments by assigning the worst score, and [`crate::Vqm`] does
+//! the same.
+
+/// Result of a calibration attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Calibration {
+    /// Best alignment offset (received index + offset = reference index)
+    /// and the correlation achieved.
+    Aligned {
+        /// Frames of shift.
+        offset: i32,
+        /// Normalized cross-correlation at that shift (−1..1).
+        correlation: f64,
+    },
+    /// No offset achieved the required correlation.
+    Failed,
+}
+
+/// Pearson correlation of two equal-length slices; `None` if either side
+/// has no variance (flat profiles cannot be aligned).
+pub fn correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return None;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va < 1e-12 || vb < 1e-12 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Search for the best temporal alignment.
+///
+/// `received` is the window to align; `reference` must cover
+/// `[ref_base - uncertainty, ref_base + received.len() + uncertainty)`
+/// (callers clamp at stream edges). `ref_base` is the reference index that
+/// a zero offset maps `received[0]` to. Offsets are searched in
+/// `[-uncertainty, +uncertainty]`.
+pub fn align(
+    received: &[f64],
+    reference: &[f64],
+    ref_base: usize,
+    uncertainty: usize,
+    threshold: f64,
+) -> Calibration {
+    let mut best: Option<(i32, f64)> = None;
+    let len = received.len();
+    if len == 0 {
+        return Calibration::Failed;
+    }
+    let lo = -(uncertainty as i64);
+    let hi = uncertainty as i64;
+    for off in lo..=hi {
+        let start = ref_base as i64 + off;
+        if start < 0 || (start as usize + len) > reference.len() {
+            continue;
+        }
+        let window = &reference[start as usize..start as usize + len];
+        if let Some(c) = correlation(received, window) {
+            if best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((off as i32, c));
+            }
+        }
+    }
+    match best {
+        Some((offset, correlation)) if correlation >= threshold => Calibration::Aligned {
+            offset,
+            correlation,
+        },
+        _ => Calibration::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize, phase: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i + phase) as f64 * 0.37).sin() * 10.0 + 12.0)
+            .collect()
+    }
+
+    #[test]
+    fn perfect_alignment_at_zero() {
+        let r = wave(400, 0);
+        let cal = align(&r[100..200], &r, 100, 50, 0.35);
+        match cal {
+            Calibration::Aligned {
+                offset,
+                correlation,
+            } => {
+                assert_eq!(offset, 0);
+                assert!(correlation > 0.999);
+            }
+            Calibration::Failed => panic!("must align"),
+        }
+    }
+
+    #[test]
+    fn finds_shifted_alignment() {
+        let r = wave(400, 0);
+        // The received window actually corresponds to reference 117..217.
+        let rec = &r[117..217];
+        let cal = align(rec, &r, 100, 50, 0.35);
+        match cal {
+            Calibration::Aligned { offset, .. } => assert_eq!(offset, 17),
+            Calibration::Failed => panic!("must align"),
+        }
+    }
+
+    #[test]
+    fn flat_received_fails() {
+        let r = wave(400, 0);
+        let rec = vec![5.0; 100];
+        assert_eq!(align(&rec, &r, 100, 50, 0.35), Calibration::Failed);
+    }
+
+    #[test]
+    fn uncorrelated_noise_fails() {
+        let r = wave(400, 0);
+        // A different-frequency profile that never correlates ≥ 0.35.
+        let rec: Vec<f64> = (0..100).map(|i| ((i * i) as f64 * 0.7).sin() * 10.0).collect();
+        match align(&rec, &r, 100, 50, 0.35) {
+            Calibration::Failed => {}
+            Calibration::Aligned { correlation, .. } => {
+                assert!(correlation < 0.5, "suspicious correlation {correlation}")
+            }
+        }
+    }
+
+    #[test]
+    fn respects_reference_bounds() {
+        let r = wave(120, 0);
+        // ref_base 0 with uncertainty 50: negative starts are skipped, not
+        // panicked on.
+        let rec = wave(100, 0);
+        let cal = align(&rec, &r, 0, 50, 0.35);
+        assert!(matches!(cal, Calibration::Aligned { offset: 0, .. }));
+    }
+
+    #[test]
+    fn empty_received_fails() {
+        let r = wave(100, 0);
+        assert_eq!(align(&[], &r, 0, 10, 0.35), Calibration::Failed);
+    }
+
+    #[test]
+    fn correlation_basics() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((correlation(&a, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&a, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&a, &[5.0, 5.0, 5.0]), None);
+        assert_eq!(correlation::<>(&[], &[]), None);
+    }
+}

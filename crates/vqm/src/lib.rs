@@ -1,0 +1,309 @@
+//! # dsv-vqm — objective video quality measurement
+//!
+//! A reduced-reference objective quality model in the architecture of the
+//! ITS Video Quality Measurement tool (ANSI T1.801.03-1996) that the paper
+//! used for all its assessments:
+//!
+//! 1. extract quality **features** from reference and received frames
+//!    (done upstream in `dsv-media` — SI/TI/luma/chroma streams);
+//! 2. **temporally calibrate** received segments against the reference
+//!    within an alignment-uncertainty window ([`calibration`]);
+//! 3. compute perception-based **parameters** from the aligned windows
+//!    ([`params`]);
+//! 4. combine them into a **composite score** per segment ([`score`]),
+//!    where 0 is perfect, 1 the worst subjective grade, and scores may
+//!    exceed 1 for distortions outside the subjective corpus (paper
+//!    footnote 7);
+//! 5. segment extended clips (300-frame segments, 100-frame overlap) and
+//!    **average** segment scores, scoring failed calibrations as 1.0
+//!    (paper §3.1.3).
+//!
+//! The headline API is [`Vqm::score_streams`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod params;
+pub mod score;
+
+use dsv_media::features::FeatureFrame;
+
+use calibration::{align, Calibration};
+use params::{extract, QualityParams};
+use score::{composite, Weights};
+
+/// Configuration of the measurement pipeline.
+#[derive(Debug, Clone)]
+pub struct VqmConfig {
+    /// Frames per segment (paper: 300 = 10 s).
+    pub segment_frames: usize,
+    /// Overlap between consecutive segments (paper: 100).
+    pub overlap_frames: usize,
+    /// Alignment-uncertainty search range, frames (paper: the overlap).
+    pub alignment_uncertainty: usize,
+    /// Minimum correlation for calibration to succeed.
+    pub calibration_threshold: f64,
+    /// Score assigned to segments whose calibration fails (paper: 1.0,
+    /// the worst subjective grade).
+    pub failed_segment_score: f64,
+    /// Composite weights.
+    pub weights: Weights,
+}
+
+impl Default for VqmConfig {
+    fn default() -> Self {
+        VqmConfig {
+            segment_frames: 300,
+            overlap_frames: 100,
+            alignment_uncertainty: 100,
+            calibration_threshold: 0.35,
+            failed_segment_score: 1.0,
+            weights: Weights::default(),
+        }
+    }
+}
+
+/// Per-segment outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentScore {
+    /// First frame of the segment.
+    pub start: usize,
+    /// Composite score of the segment.
+    pub score: f64,
+    /// Whether temporal calibration succeeded.
+    pub calibrated: bool,
+    /// Alignment offset found (0 when failed).
+    pub offset: i32,
+    /// Parameters (zeroed when calibration failed).
+    pub params: QualityParams,
+}
+
+/// Overall result for a clip.
+#[derive(Debug, Clone)]
+pub struct VqmResult {
+    /// Mean of the per-segment scores — the number the paper plots.
+    pub overall: f64,
+    /// Segment detail.
+    pub segments: Vec<SegmentScore>,
+    /// How many segments failed calibration.
+    pub failed_segments: usize,
+}
+
+/// The measurement tool.
+#[derive(Debug, Clone, Default)]
+pub struct Vqm {
+    /// Pipeline configuration.
+    pub config: VqmConfig,
+}
+
+impl Vqm {
+    /// Create with a configuration.
+    pub fn new(config: VqmConfig) -> Vqm {
+        Vqm { config }
+    }
+
+    /// Score a received feature stream against a reference stream.
+    ///
+    /// Both streams are indexed by presentation slot; they must have equal
+    /// length (the renderer model always produces one displayed frame per
+    /// slot).
+    pub fn score_streams(&self, reference: &[FeatureFrame], received: &[FeatureFrame]) -> VqmResult {
+        assert_eq!(
+            reference.len(),
+            received.len(),
+            "reference and received must cover the same slots"
+        );
+        let n = reference.len();
+        let cfg = &self.config;
+        if n == 0 {
+            return VqmResult {
+                overall: cfg.failed_segment_score,
+                segments: Vec::new(),
+                failed_segments: 0,
+            };
+        }
+
+        let ref_ti: Vec<f64> = reference.iter().map(|f| f.ti).collect();
+        let rec_ti: Vec<f64> = received.iter().map(|f| f.ti).collect();
+
+        let mut segments = Vec::new();
+        let stride = cfg.segment_frames - cfg.overlap_frames;
+        let mut starts: Vec<usize> = (0..)
+            .map(|k| k * stride)
+            .take_while(|s| s + cfg.segment_frames <= n)
+            .collect();
+        if starts.is_empty() {
+            starts.push(0); // short clip: one segment covering everything
+        }
+
+        for &start in &starts {
+            let end = (start + cfg.segment_frames).min(n);
+            // The scoring window is the middle of the segment (after the
+            // overlap margin used for alignment); for short clips it is
+            // the whole segment.
+            let (w_lo, w_hi) = if end - start > 2 * cfg.overlap_frames {
+                (start + cfg.overlap_frames, end - cfg.overlap_frames)
+            } else {
+                (start, end)
+            };
+            let rec_window = &rec_ti[w_lo..w_hi];
+            let cal = align(
+                rec_window,
+                &ref_ti,
+                w_lo,
+                cfg.alignment_uncertainty,
+                cfg.calibration_threshold,
+            );
+            match cal {
+                Calibration::Failed => segments.push(SegmentScore {
+                    start,
+                    score: cfg.failed_segment_score,
+                    calibrated: false,
+                    offset: 0,
+                    params: QualityParams::default(),
+                }),
+                Calibration::Aligned { offset, .. } => {
+                    let ref_lo = (w_lo as i64 + offset as i64) as usize;
+                    let ref_hi = ref_lo + (w_hi - w_lo);
+                    let p = extract(&reference[ref_lo..ref_hi], &received[w_lo..w_hi]);
+                    segments.push(SegmentScore {
+                        start,
+                        score: composite(&p, &cfg.weights),
+                        calibrated: true,
+                        offset,
+                        params: p,
+                    });
+                }
+            }
+        }
+
+        let failed = segments.iter().filter(|s| !s.calibrated).count();
+        let overall = segments.iter().map(|s| s.score).sum::<f64>() / segments.len() as f64;
+        VqmResult {
+            overall,
+            segments,
+            failed_segments: failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_media::features::displayed_stream;
+    use dsv_media::scene::ClipId;
+
+    fn reference() -> Vec<FeatureFrame> {
+        // The Lost clip's source features are a realistic reference.
+        ClipId::Lost.model().source_features()
+    }
+
+    #[test]
+    fn pristine_stream_scores_zero() {
+        let r = reference();
+        let v = Vqm::default();
+        let res = v.score_streams(&r, &r);
+        assert_eq!(res.failed_segments, 0);
+        assert!(res.overall < 1e-9, "overall {}", res.overall);
+        // Lost: 2150 frames -> segments at stride 200 while s+300<=2150:
+        // floor((2150-300)/200)+1 = 10.
+        assert_eq!(res.segments.len(), 10);
+    }
+
+    #[test]
+    fn sparse_losses_score_mildly() {
+        let r = reference();
+        // Lose ~1% of slots (repeat previous frame).
+        let displayed: Vec<u32> = (0..r.len() as u32)
+            .map(|i| if i % 97 == 5 && i > 0 { i - 1 } else { i })
+            .collect();
+        let rec = displayed_stream(&r, &displayed);
+        let res = Vqm::default().score_streams(&r, &rec);
+        assert_eq!(res.failed_segments, 0, "sparse loss must still calibrate");
+        assert!(
+            res.overall > 0.03 && res.overall < 0.4,
+            "overall {}",
+            res.overall
+        );
+    }
+
+    #[test]
+    fn heavy_freezing_fails_calibration() {
+        let r = reference();
+        // Freeze 20-second stretches: show frame 0 for the first 600
+        // slots, then frame 600, etc.
+        let displayed: Vec<u32> = (0..r.len() as u32).map(|i| (i / 600) * 600).collect();
+        let rec = displayed_stream(&r, &displayed);
+        let res = Vqm::default().score_streams(&r, &rec);
+        assert!(
+            res.failed_segments >= res.segments.len() / 2,
+            "failed {}/{}",
+            res.failed_segments,
+            res.segments.len()
+        );
+        assert!(res.overall > 0.8, "overall {}", res.overall);
+    }
+
+    #[test]
+    fn more_loss_scores_worse() {
+        let r = reference();
+        let lose_every = |k: u32| -> f64 {
+            let displayed: Vec<u32> = {
+                let mut last = 0u32;
+                (0..r.len() as u32)
+                    .map(|i| {
+                        if i % k == 1 {
+                            last
+                        } else {
+                            last = i;
+                            i
+                        }
+                    })
+                    .collect()
+            };
+            let rec = displayed_stream(&r, &displayed);
+            Vqm::default().score_streams(&r, &rec).overall
+        };
+        let light = lose_every(100);
+        let medium = lose_every(20);
+        let heavy = lose_every(4);
+        assert!(light < medium, "light {light} medium {medium}");
+        assert!(medium < heavy, "medium {medium} heavy {heavy}");
+    }
+
+    #[test]
+    fn encoding_degradation_scores_between_zero_and_loss() {
+        use dsv_media::features::encode_features;
+        let r = reference();
+        let rec: Vec<FeatureFrame> = r.iter().map(|&f| encode_features(f, 0.8)).collect();
+        let res = Vqm::default().score_streams(&r, &rec);
+        assert_eq!(res.failed_segments, 0);
+        assert!(
+            res.overall > 0.02 && res.overall < 0.35,
+            "encoding-only distortion {}",
+            res.overall
+        );
+    }
+
+    #[test]
+    fn short_clip_single_segment() {
+        let r: Vec<FeatureFrame> = reference()[..150].to_vec();
+        let res = Vqm::default().score_streams(&r, &r);
+        assert_eq!(res.segments.len(), 1);
+        assert!(res.overall < 1e-9);
+    }
+
+    #[test]
+    fn empty_streams_are_worst() {
+        let res = Vqm::default().score_streams(&[], &[]);
+        assert_eq!(res.overall, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same slots")]
+    fn mismatched_lengths_panic() {
+        let r = reference();
+        Vqm::default().score_streams(&r, &r[..100]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Perception-based quality parameters.
+//!
+//! Step 2 of the ITS method: "Compute perception-based video quality
+//! parameters by comparing the features of the received (output) video
+//! frames with the corresponding features of the original (input) video
+//! frames" (paper §3.1). Each parameter isolates one impairment class, in
+//! the spirit of ANSI T1.801.03: spatial-detail loss (blur), spatial-detail
+//! gain (noise/blocking), motion loss (freezes/jerkiness), motion gain
+//! (transients after freezes), and luma/chroma distortion.
+
+use dsv_media::features::FeatureFrame;
+
+/// The extracted parameter set for one scoring window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QualityParams {
+    /// Mean relative loss of spatial detail (0‥1): blur from coarse
+    /// quantization.
+    pub si_loss: f64,
+    /// Mean relative gain of spatial detail (0‥): added edges = noise.
+    pub si_gain: f64,
+    /// Mean relative motion deficit (0‥1): dominated by repeated frames.
+    pub ti_loss: f64,
+    /// Mean relative motion surplus (0‥): the jump transients that follow
+    /// freezes.
+    pub ti_gain: f64,
+    /// Fraction of frames that are frozen (no change where the reference
+    /// moves).
+    pub freeze_fraction: f64,
+    /// Mean absolute luminance shift, normalized to 255.
+    pub luma_diff: f64,
+    /// Mean absolute chroma-spread difference, normalized.
+    pub chroma_diff: f64,
+}
+
+/// Reference TI below which a still frame is genuinely still (not a
+/// freeze).
+const STILL_TI: f64 = 0.5;
+
+/// Extract parameters from aligned windows of equal length.
+///
+/// # Panics
+/// Panics if the windows differ in length or are empty.
+pub fn extract(reference: &[FeatureFrame], received: &[FeatureFrame]) -> QualityParams {
+    assert_eq!(reference.len(), received.len(), "windows must align");
+    assert!(!reference.is_empty(), "empty scoring window");
+    let n = reference.len() as f64;
+    let mut p = QualityParams::default();
+    let mut frozen = 0usize;
+    for (r, x) in reference.iter().zip(received) {
+        let si_ref = r.si.max(1.0);
+        let d_si = (x.si - r.si) / si_ref;
+        if d_si < 0.0 {
+            p.si_loss -= d_si;
+        } else {
+            p.si_gain += d_si;
+        }
+        let ti_ref = r.ti.max(1.0);
+        let d_ti = (x.ti - r.ti) / ti_ref;
+        if d_ti < 0.0 {
+            p.ti_loss -= d_ti;
+        } else {
+            // Cap single-frame surges: one scene-cut-sized jump should not
+            // dominate a window.
+            p.ti_gain += d_ti.min(4.0);
+        }
+        if x.ti <= STILL_TI && r.ti > STILL_TI {
+            frozen += 1;
+        }
+        p.luma_diff += (x.y_mean - r.y_mean).abs() / 255.0;
+        p.chroma_diff += (x.chroma - r.chroma).abs() / 128.0;
+    }
+    p.si_loss /= n;
+    p.si_gain /= n;
+    p.ti_loss /= n;
+    p.ti_gain /= n;
+    p.freeze_fraction = frozen as f64 / n;
+    p.luma_diff /= n;
+    p.chroma_diff /= n;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(si: f64, ti: f64) -> FeatureFrame {
+        FeatureFrame {
+            si,
+            ti,
+            y_mean: 128.0,
+            chroma: 20.0,
+            fidelity: 1.0,
+        }
+    }
+
+    #[test]
+    fn identical_windows_have_zero_params() {
+        let w: Vec<FeatureFrame> = (0..50).map(|i| frame(100.0, 5.0 + (i % 3) as f64)).collect();
+        let p = extract(&w, &w);
+        assert_eq!(p.si_loss, 0.0);
+        assert_eq!(p.ti_loss, 0.0);
+        assert_eq!(p.freeze_fraction, 0.0);
+        assert_eq!(p.luma_diff, 0.0);
+    }
+
+    #[test]
+    fn blur_shows_as_si_loss() {
+        let r: Vec<FeatureFrame> = (0..50).map(|_| frame(100.0, 5.0)).collect();
+        let x: Vec<FeatureFrame> = (0..50).map(|_| frame(80.0, 5.0)).collect();
+        let p = extract(&r, &x);
+        assert!((p.si_loss - 0.2).abs() < 1e-9);
+        assert_eq!(p.si_gain, 0.0);
+    }
+
+    #[test]
+    fn freezes_show_as_ti_loss_and_freeze_fraction() {
+        let r: Vec<FeatureFrame> = (0..100).map(|_| frame(100.0, 10.0)).collect();
+        let mut x = r.clone();
+        // 10 frozen slots.
+        for f in x.iter_mut().take(30).skip(20) {
+            f.ti = 0.0;
+        }
+        let p = extract(&r, &x);
+        assert!((p.freeze_fraction - 0.1).abs() < 1e-9);
+        assert!((p.ti_loss - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn still_reference_is_not_a_freeze() {
+        let r: Vec<FeatureFrame> = (0..10).map(|_| frame(100.0, 0.0)).collect();
+        let x = r.clone();
+        let p = extract(&r, &x);
+        assert_eq!(p.freeze_fraction, 0.0);
+    }
+
+    #[test]
+    fn jump_transients_are_capped() {
+        let r: Vec<FeatureFrame> = (0..10).map(|_| frame(100.0, 2.0)).collect();
+        let mut x = r.clone();
+        x[5].ti = 120.0; // a recovery jump
+        let p = extract(&r, &x);
+        assert!((p.ti_gain - 0.4).abs() < 1e-9, "capped at 4 per frame / 10");
+    }
+
+    #[test]
+    #[should_panic(expected = "windows must align")]
+    fn mismatched_lengths_panic() {
+        let a = vec![frame(1.0, 1.0)];
+        extract(&a, &[]);
+    }
+}

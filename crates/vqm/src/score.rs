@@ -1,0 +1,150 @@
+//! Composite score.
+//!
+//! Step 3 of the ITS method: "Produce a composite quality score from the
+//! computed digital video quality parameters that is highly correlated
+//! with the subjective assessments of human viewer panels" (paper §3.1).
+//! The real tool's weights were fit to subjective-test corpora; ours are
+//! fit (in `dsv-core` calibration tests) so the *score ranges* land where
+//! the paper's figures put them: ≈0 for an unimpaired stream, ≈0.15–0.2
+//! around 1 % frame loss, near 1 for unusable streams, with scores able to
+//! exceed 1.0 "for extremely distorted video" (paper footnote 7) and 1.0
+//! assigned outright to segments whose calibration fails.
+
+use crate::params::QualityParams;
+
+/// Weights of the composite model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Freeze fraction (raised to `freeze_exponent`) — the dominant
+    /// impairment for policing-induced loss.
+    pub freeze: f64,
+    /// Exponent shaping the freeze term (sub-linear: the first freezes
+    /// hurt disproportionately).
+    pub freeze_exponent: f64,
+    /// Motion deficit.
+    pub ti_loss: f64,
+    /// Motion surplus (post-freeze jumps).
+    pub ti_gain: f64,
+    /// Spatial-detail loss (encoding blur).
+    pub si_loss: f64,
+    /// Spatial-detail gain (noise).
+    pub si_gain: f64,
+    /// Luma shift.
+    pub luma: f64,
+    /// Chroma distortion.
+    pub chroma: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        // Fit against the paper's operating points (see dsv-core's
+        // calibration tests):
+        //  * encoding-only 1.0 Mbps vs 1.7 Mbps reference ⇒ ≈ 0.1–0.2
+        //  * ≈1 % frame loss ⇒ ≈ 0.15
+        //  * ≥30 % frame loss ⇒ ≳ 0.8 (and usually calibration failure).
+        Weights {
+            freeze: 2.2,
+            freeze_exponent: 0.65,
+            ti_loss: 0.45,
+            ti_gain: 0.9,
+            si_loss: 1.6,
+            si_gain: 0.8,
+            luma: 1.2,
+            chroma: 0.6,
+        }
+    }
+}
+
+/// Ceiling of the composite score. The subjective scale tops out at 1.0;
+/// the tool's scores "may exceed 1.0 for extremely distorted video that
+/// falls outside the range of subjective assessments" (paper footnote 7) —
+/// slightly, not unboundedly.
+pub const MAX_SCORE: f64 = 1.05;
+
+/// Combine parameters into a score (0 = perfect; greater is worse; capped
+/// at [`MAX_SCORE`]).
+pub fn composite(p: &QualityParams, w: &Weights) -> f64 {
+    let score = w.freeze * p.freeze_fraction.powf(w.freeze_exponent)
+        + w.ti_loss * p.ti_loss.min(1.5)
+        + w.ti_gain * p.ti_gain.min(1.5)
+        + w.si_loss * p.si_loss
+        + w.si_gain * p.si_gain
+        + w.luma * p.luma_diff
+        + w.chroma * p.chroma_diff;
+    score.clamp(0.0, MAX_SCORE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_params_zero_score() {
+        assert_eq!(composite(&QualityParams::default(), &Weights::default()), 0.0);
+    }
+
+    #[test]
+    fn score_is_monotone_in_each_parameter() {
+        let w = Weights::default();
+        let base = QualityParams {
+            si_loss: 0.05,
+            si_gain: 0.01,
+            ti_loss: 0.05,
+            ti_gain: 0.05,
+            freeze_fraction: 0.02,
+            luma_diff: 0.01,
+            chroma_diff: 0.01,
+        };
+        let s0 = composite(&base, &w);
+        for bump in [
+            QualityParams {
+                si_loss: base.si_loss + 0.1,
+                ..base
+            },
+            QualityParams {
+                ti_loss: base.ti_loss + 0.1,
+                ..base
+            },
+            QualityParams {
+                freeze_fraction: base.freeze_fraction + 0.1,
+                ..base
+            },
+            QualityParams {
+                luma_diff: base.luma_diff + 0.1,
+                ..base
+            },
+        ] {
+            assert!(composite(&bump, &w) > s0);
+        }
+    }
+
+    #[test]
+    fn small_freeze_hurts_disproportionately() {
+        let w = Weights::default();
+        let mk = |f: f64| QualityParams {
+            freeze_fraction: f,
+            ..QualityParams::default()
+        };
+        let s1 = composite(&mk(0.01), &w);
+        let s10 = composite(&mk(0.10), &w);
+        // Sub-linear: 10x the freezes is much less than 10x the score.
+        assert!(s10 < 10.0 * s1 * 0.8, "s1={s1} s10={s10}");
+        // But ~1% freezing already scores noticeably (paper: ~0.15).
+        assert!(s1 > 0.08, "s1={s1}");
+    }
+
+    #[test]
+    fn extreme_distortion_can_exceed_one() {
+        let w = Weights::default();
+        let p = QualityParams {
+            si_loss: 0.6,
+            si_gain: 0.0,
+            ti_loss: 1.0,
+            ti_gain: 1.2,
+            freeze_fraction: 0.8,
+            luma_diff: 0.2,
+            chroma_diff: 0.2,
+        };
+        assert!(composite(&p, &w) > 1.0);
+    }
+}

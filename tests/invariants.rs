@@ -1,0 +1,214 @@
+//! Property-based invariants across the core data structures, checked
+//! with randomized traffic (proptest). These are the contracts DESIGN.md
+//! commits to: byte-accurate conformance, order preservation, playback
+//! schedule sanity, VQM score bounds.
+
+use dsv_diffserv::prelude::*;
+use dsv_media::features::FeatureFrame;
+use dsv_net::prelude::*;
+use dsv_sim::{EventQueue, SimTime};
+use dsv_stream::playback::{playback_schedule, PlaybackConfig};
+use dsv_vqm::Vqm;
+use proptest::prelude::*;
+
+fn pkt(id: u64, size: u32) -> Packet<()> {
+    Packet {
+        id: PacketId(id),
+        flow: FlowId(1),
+        src: NodeId(0),
+        dst: NodeId(1),
+        size,
+        dscp: Dscp::BEST_EFFORT,
+        proto: Proto::Udp,
+        fragment: None,
+        sent_at: SimTime::ZERO,
+        payload: (),
+    }
+}
+
+proptest! {
+    /// Over any arrival pattern, a policer admits at most
+    /// `depth + rate·Δt/8` bytes — the token-bucket conformance bound.
+    #[test]
+    fn policer_conformance_bound(
+        rate in 100_000u64..10_000_000,
+        depth in 1500u32..20_000,
+        arrivals in prop::collection::vec((0u64..5_000_000, 64u32..1500), 1..200),
+    ) {
+        let mut p = Policer::car_drop(rate, depth);
+        // Sort arrival offsets to get a valid (monotone) schedule.
+        let mut times: Vec<(u64, u32)> = arrivals;
+        times.sort_by_key(|t| t.0);
+        let mut accepted: u64 = 0;
+        let mut last_t = 0u64;
+        for (i, &(t_ns, size)) in times.iter().enumerate() {
+            last_t = t_ns;
+            if let PolicerVerdict::Pass(_) =
+                p.police(SimTime::from_nanos(t_ns), pkt(i as u64, size))
+            {
+                accepted += size as u64;
+            }
+        }
+        let window_secs = last_t as f64 / 1e9;
+        let bound = depth as f64 + rate as f64 * window_secs / 8.0;
+        prop_assert!(accepted as f64 <= bound + 1.0,
+            "accepted {accepted} > bound {bound}");
+    }
+
+    /// A shaper's releases are conformant AND in order, and nothing is
+    /// lost while the queue has room.
+    #[test]
+    fn shaper_conformance_and_order(
+        rate in 200_000u64..5_000_000,
+        depth in 1500u32..9000,
+        arrivals in prop::collection::vec((0u64..2_000_000, 64u32..1500), 1..100),
+    ) {
+        let mut s: Shaper<()> = Shaper::new(rate, depth, u64::MAX);
+        let mut times: Vec<(u64, u32)> = arrivals;
+        times.sort_by_key(|t| t.0);
+        let mut released: Vec<(SimTime, u64, u32)> = Vec::new();
+        let mut poll: Option<SimTime> = None;
+        let drain = |s: &mut Shaper<()>, at: SimTime,
+                         released: &mut Vec<(SimTime, u64, u32)>| {
+            let (ready, next) = s.pop_ready(at);
+            for p in ready {
+                released.push((at, p.id.0, p.size));
+            }
+            next
+        };
+        for (i, &(t_ns, size)) in times.iter().enumerate() {
+            let now = SimTime::from_nanos(t_ns);
+            // Drain any releases due before this arrival.
+            if let Some(at) = poll {
+                if at <= now {
+                    poll = drain(&mut s, at, &mut released);
+                }
+            }
+            match s.offer(now, pkt(i as u64, size)) {
+                ShaperResult::PassNow(p) => released.push((now, p.id.0, p.size)),
+                ShaperResult::Queued { next_release } => poll = Some(next_release),
+                ShaperResult::Overflow(_) => unreachable!("unbounded queue"),
+            }
+        }
+        while let Some(at) = poll {
+            poll = drain(&mut s, at, &mut released);
+        }
+        // All packets came out.
+        prop_assert_eq!(released.len(), times.len());
+        // In order.
+        for w in released.windows(2) {
+            prop_assert!(w[0].1 < w[1].1, "reordered: {:?}", w);
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // Conformant: cumulative bytes by each release time within bound.
+        let t0 = released[0].0;
+        let mut cum = 0u64;
+        for &(t, _, size) in &released {
+            cum += size as u64;
+            let window = t.saturating_since(t0).as_secs_f64();
+            let bound = depth as f64 + rate as f64 * window / 8.0
+                // The first release may already use banked tokens for
+                // `size` bytes beyond the depth accounting base.
+                + 1500.0;
+            prop_assert!(cum as f64 <= bound + 1.0, "cum {cum} > {bound}");
+        }
+    }
+
+    /// The playback schedule always emits exactly one frame per slot,
+    /// never shows a frame that was not decodable, and never travels
+    /// backwards in display order.
+    #[test]
+    fn playback_schedule_invariants(
+        arrivals in prop::collection::vec(
+            prop::option::weighted(0.8, 0u64..200_000_000_000), 1..400),
+    ) {
+        let times: Vec<Option<SimTime>> =
+            arrivals.iter().map(|o| o.map(SimTime::from_nanos)).collect();
+        let res = playback_schedule(&times, &PlaybackConfig::default());
+        prop_assert_eq!(res.displayed.len(), times.len());
+        if !res.total_failure {
+            for (slot, &shown) in res.displayed.iter().enumerate() {
+                prop_assert!((shown as usize) < times.len());
+                prop_assert!(times[shown as usize].is_some(),
+                    "slot {slot} shows undecodable frame {shown}");
+            }
+            // Display order is non-decreasing except the initial splash.
+            let first_fresh = res.displayed.iter()
+                .position(|&d| times[d as usize].is_some());
+            if let Some(start) = first_fresh {
+                for w in res.displayed[start..].windows(2) {
+                    prop_assert!(w[1] >= w[0], "rewound: {:?}", w);
+                }
+            }
+            prop_assert!(res.repeats <= res.displayed.len());
+            prop_assert!(res.longest_freeze <= res.repeats);
+        }
+    }
+
+    /// VQM scores live in [0, 1.05] for any pair of equally long feature
+    /// streams.
+    #[test]
+    fn vqm_score_bounds(
+        sis in prop::collection::vec(1.0f64..250.0, 120..360),
+        tis in prop::collection::vec(0.0f64..100.0, 120..360),
+    ) {
+        let n = sis.len().min(tis.len());
+        let reference: Vec<FeatureFrame> = (0..n).map(|i| FeatureFrame {
+            si: sis[i], ti: tis[i], y_mean: 120.0, chroma: 20.0, fidelity: 1.0,
+        }).collect();
+        // Received: a crudely impaired version.
+        let received: Vec<FeatureFrame> = reference.iter().enumerate().map(|(i, f)| {
+            let mut g = *f;
+            if i % 7 == 0 { g.ti = 0.0; }
+            if i % 11 == 0 { g.si *= 0.5; }
+            g
+        }).collect();
+        let res = Vqm::default().score_streams(&reference, &received);
+        prop_assert!(res.overall >= 0.0);
+        prop_assert!(res.overall <= 1.05 + 1e-12, "score {}", res.overall);
+        let self_res = Vqm::default().score_streams(&reference, &reference);
+        prop_assert!(self_res.overall <= res.overall + 1e-12,
+            "self-comparison must not score worse than impairment");
+    }
+
+    /// The event queue delivers in (time, insertion) order for any batch.
+    #[test]
+    fn event_queue_total_order(
+        times in prop::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated on tie");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+}
+
+#[test]
+fn decodable_is_subset_of_received() {
+    // Deterministic check over many random loss patterns.
+    use dsv_media::decoder::decodable_frames;
+    use dsv_media::encoder::mpeg1;
+    use dsv_media::scene::ClipId;
+    use dsv_sim::SimRng;
+    let clip = mpeg1::encode(&ClipId::Lost.model(), 1_000_000);
+    let mut rng = SimRng::seed_from_u64(42);
+    for _ in 0..20 {
+        let received: Vec<bool> = (0..clip.frames.len())
+            .map(|_| rng.chance(0.9))
+            .collect();
+        let ok = decodable_frames(&clip.frames, &received);
+        for (i, (&r, &d)) in received.iter().zip(&ok).enumerate() {
+            assert!(!d || r, "frame {i} decodable but not received");
+        }
+    }
+}

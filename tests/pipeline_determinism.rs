@@ -1,0 +1,74 @@
+//! Whole-pipeline determinism: a run is a pure function of its
+//! configuration and seed, from packet trace through VQM score. This is
+//! the property that makes every number in EXPERIMENTS.md reproducible by
+//! `cargo run`.
+
+use dsv_core::prelude::*;
+
+#[test]
+fn qbone_runs_are_bit_identical() {
+    let cfg = QboneConfig::new(
+        ClipId2::Lost,
+        1_500_000,
+        EfProfile::new(1_600_000, DEPTH_2MTU),
+    );
+    let (a_out, a_rep) = run_qbone_detailed(&cfg);
+    let (b_out, b_rep) = run_qbone_detailed(&cfg);
+    assert_eq!(a_out.quality, b_out.quality);
+    assert_eq!(a_out.frame_loss, b_out.frame_loss);
+    assert_eq!(a_out.policer_drops, b_out.policer_drops);
+    assert_eq!(a_rep.arrival, b_rep.arrival);
+    assert_eq!(a_rep.playback.displayed, b_rep.playback.displayed);
+}
+
+#[test]
+fn local_runs_are_bit_identical_including_cross_traffic() {
+    let mut cfg = LocalConfig::new(
+        ClipId2::Lost,
+        EfProfile::new(1_300_000, DEPTH_3MTU),
+        LocalTransport::Udp,
+    );
+    cfg.cross_traffic = true;
+    let a = run_local(&cfg);
+    let b = run_local(&cfg);
+    assert_eq!(a.quality, b.quality);
+    assert_eq!(a.rx_packets, b.rx_packets);
+    assert_eq!(a.mean_delay_ms, b.mean_delay_ms);
+}
+
+#[test]
+fn seeds_change_cross_traffic_but_not_the_regime() {
+    let mk = |seed: u64| {
+        let mut cfg = LocalConfig::new(
+            ClipId2::Lost,
+            EfProfile::new(1_600_000, DEPTH_3MTU),
+            LocalTransport::Udp,
+        );
+        cfg.cross_traffic = true;
+        cfg.seed = seed;
+        run_local(&cfg)
+    };
+    let a = mk(1);
+    let b = mk(2);
+    // Different random background, same conclusion.
+    assert!(
+        (a.quality - b.quality).abs() < 0.2,
+        "seeds flipped the regime: {} vs {}",
+        a.quality,
+        b.quality
+    );
+}
+
+#[test]
+fn tcp_runs_are_bit_identical() {
+    let mut cfg = LocalConfig::new(
+        ClipId2::Lost,
+        EfProfile::new(1_300_000, DEPTH_3MTU),
+        LocalTransport::Tcp,
+    );
+    cfg.shaped = true;
+    let a = run_local(&cfg);
+    let b = run_local(&cfg);
+    assert_eq!(a.quality, b.quality);
+    assert_eq!(a.rx_packets, b.rx_packets);
+}

@@ -1,0 +1,132 @@
+//! The pixel path end-to-end: rasterize real YUV frames from the scene
+//! models, extract features from pixels (not formulas), and verify the
+//! VQM verdicts agree with the analytic fast path. This is the test that
+//! keeps the analytic feature substitution honest (DESIGN.md §2).
+
+use dsv_media::features::FeatureFrame;
+use dsv_media::scene::ClipId;
+use dsv_media::yuv::{BigYuv, Rasterizer};
+use dsv_vqm::{Vqm, VqmConfig};
+
+/// Extract a measured feature stream from rendered pixels for frames
+/// `[0, n)`, applying a frame-repeat schedule (`displayed[k]` = source
+/// frame shown in slot `k`).
+fn measured_stream(n: u32, displayed: &[u32]) -> Vec<FeatureFrame> {
+    let model = ClipId::Lost.model();
+    let r = Rasterizer::new(&model, 48, 36);
+    // Render each distinct source frame once.
+    let mut cache: std::collections::HashMap<u32, dsv_media::yuv::YuvFrame> =
+        std::collections::HashMap::new();
+    let mut get = |idx: u32| {
+        cache
+            .entry(idx)
+            .or_insert_with(|| r.render(idx))
+            .clone()
+    };
+    let mut out = Vec::with_capacity(n as usize);
+    let mut prev: Option<dsv_media::yuv::YuvFrame> = None;
+    for &idx in displayed.iter().take(n as usize) {
+        let cur = get(idx);
+        let mut f = cur.features(prev.as_ref());
+        f.fidelity = 1.0;
+        out.push(f);
+        prev = Some(cur);
+    }
+    out
+}
+
+fn short_vqm() -> Vqm {
+    // Short segments so a 240-frame clip yields multiple segments.
+    Vqm::new(VqmConfig {
+        segment_frames: 120,
+        overlap_frames: 30,
+        alignment_uncertainty: 30,
+        ..VqmConfig::default()
+    })
+}
+
+#[test]
+fn pixel_vqm_scores_pristine_as_near_perfect() {
+    let n = 240u32;
+    let identity: Vec<u32> = (0..n).collect();
+    let reference = measured_stream(n, &identity);
+    let res = short_vqm().score_streams(&reference, &reference);
+    assert_eq!(res.failed_segments, 0);
+    assert!(res.overall < 1e-9, "self-score {}", res.overall);
+}
+
+#[test]
+fn pixel_vqm_orders_light_vs_heavy_impairment() {
+    let n = 240u32;
+    let identity: Vec<u32> = (0..n).collect();
+    let reference = measured_stream(n, &identity);
+
+    // Light: repeat every 40th frame. Heavy: freeze in runs of 8.
+    let light: Vec<u32> = (0..n).map(|i| if i % 40 == 1 { i - 1 } else { i }).collect();
+    let heavy: Vec<u32> = (0..n).map(|i| (i / 8) * 8).collect();
+    let light_stream = measured_stream(n, &light);
+    let heavy_stream = measured_stream(n, &heavy);
+
+    let vqm = short_vqm();
+    let light_score = vqm.score_streams(&reference, &light_stream).overall;
+    let heavy_score = vqm.score_streams(&reference, &heavy_stream).overall;
+    assert!(
+        light_score < heavy_score,
+        "pixel path must order impairments: light {light_score} heavy {heavy_score}"
+    );
+    assert!(light_score > 0.0, "light impairment must register");
+}
+
+#[test]
+fn pixel_and_analytic_paths_agree_on_the_verdict() {
+    let n = 240u32;
+    let model = ClipId::Lost.model();
+    let identity: Vec<u32> = (0..n).collect();
+    let schedule: Vec<u32> = (0..n).map(|i| if i % 20 == 1 { i - 1 } else { i }).collect();
+
+    // Pixel path.
+    let ref_px = measured_stream(n, &identity);
+    let rec_px = measured_stream(n, &schedule);
+    let px = short_vqm().score_streams(&ref_px, &rec_px).overall;
+
+    // Analytic path.
+    let src = model.source_features();
+    let ref_an: Vec<FeatureFrame> = src[..n as usize].to_vec();
+    let rec_an = dsv_media::features::displayed_stream(&ref_an, &schedule);
+    let an = short_vqm().score_streams(&ref_an, &rec_an).overall;
+
+    // Same verdict class: both must flag a moderate impairment (clearly
+    // not perfect, clearly not total failure) and land within a factor of
+    // four of each other — the pixel extractor measures more motion
+    // energy than the analytic model assumes, so exact equality is not
+    // expected, only agreement of verdict.
+    assert!(px > 0.02 && px < 0.9, "pixel score {px}");
+    assert!(an > 0.02 && an < 0.9, "analytic score {an}");
+    let ratio = px.max(an) / px.min(an).max(1e-9);
+    assert!(ratio < 4.0, "paths disagree: pixel {px} vs analytic {an}");
+}
+
+#[test]
+fn bigyuv_round_trip_preserves_features() {
+    // Storage-filter fidelity: writing frames to the BigYUV container and
+    // reading them back preserves the extracted features exactly.
+    let model = ClipId::Lost.model();
+    let r = Rasterizer::new(&model, 32, 24);
+    let mut store = BigYuv::new(32, 24);
+    let mut direct = Vec::new();
+    let mut prev = None;
+    for i in 0..30u32 {
+        let f = r.render(i);
+        direct.push(f.features(prev.as_ref()));
+        store.push(&f);
+        prev = Some(f);
+    }
+    let mut prev = None;
+    for (i, d) in direct.iter().enumerate() {
+        let f = store.frame(i);
+        let got = f.features(prev.as_ref());
+        assert_eq!(got.si, d.si, "frame {i} SI");
+        assert_eq!(got.ti, d.ti, "frame {i} TI");
+        prev = Some(f);
+    }
+}
