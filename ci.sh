@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, tests, formatting, lints.
+# Run from anywhere; everything executes at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci: all green"

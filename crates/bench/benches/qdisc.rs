@@ -33,14 +33,16 @@ fn bench_qdisc(c: &mut Criterion) {
         });
     });
     g.bench_function("priority_mixed_traffic", |b| {
-        let mut q: StrictPriorityQueue<()> = StrictPriorityQueue::ef_default(
-            QueueLimits::packets(1024),
-            QueueLimits::packets(1024),
-        );
+        let mut q: StrictPriorityQueue<()> =
+            StrictPriorityQueue::ef_default(QueueLimits::packets(1024), QueueLimits::packets(1024));
         let mut id = 0u64;
         b.iter(|| {
             id += 1;
-            let dscp = if id % 3 == 0 { Dscp::EF } else { Dscp::BEST_EFFORT };
+            let dscp = if id % 3 == 0 {
+                Dscp::EF
+            } else {
+                Dscp::BEST_EFFORT
+            };
             let _ = q.enqueue(pkt(id, dscp));
             black_box(q.dequeue());
         });
@@ -52,7 +54,11 @@ fn bench_qdisc(c: &mut Criterion) {
                 QueueLimits::packets(256),
             );
             for id in 0..128 {
-                let dscp = if id % 2 == 0 { Dscp::EF } else { Dscp::BEST_EFFORT };
+                let dscp = if id % 2 == 0 {
+                    Dscp::EF
+                } else {
+                    Dscp::BEST_EFFORT
+                };
                 let _ = q.enqueue(pkt(id, dscp));
             }
             while let Some(p) = q.dequeue() {

@@ -1,0 +1,64 @@
+//! Timing evidence for the sweep runner: a 2-depth × 8-rate QBone grid
+//! run three ways — serial/uncached (baseline), threaded/cold-cache, and
+//! threaded/warm-cache — with byte-identity checks between all of them.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dsv_core::prelude::*;
+
+fn main() {
+    let enc = 1_500_000u64;
+    let base = QboneConfig::new(ClipId2::Lost, enc, EfProfile::new(enc, DEPTH_2MTU));
+    let rates = default_rate_grid(enc, 8);
+    let depths = [DEPTH_2MTU, DEPTH_3MTU];
+    let points = rates.len() * depths.len();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("runner bench: {points}-point QBone grid, {threads} core(s) available\n");
+
+    let cache: PathBuf =
+        std::env::temp_dir().join(format!("dsv-runner-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let label = "runner bench grid";
+    let time = |tag: &str, runner: &Runner| {
+        let t0 = Instant::now();
+        let sweep = runner.qbone_sweep(&base, &rates, &depths, label);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{tag:<24} {dt:7.2} s  ({:.2} pts/s)",
+            points as f64 / dt.max(1e-9)
+        );
+        (dt, serde_json::to_string(&sweep).expect("serialize"))
+    };
+
+    let (t_serial, json_serial) = time("serial, uncached", &Runner::serial());
+    let (t_cold, json_cold) = time(
+        "threaded, cold cache",
+        &Runner::serial()
+            .with_threads(threads)
+            .with_cache(Some(cache.clone())),
+    );
+    let (t_warm, json_warm) = time(
+        "threaded, warm cache",
+        &Runner::serial()
+            .with_threads(threads)
+            .with_cache(Some(cache.clone())),
+    );
+
+    assert_eq!(json_serial, json_cold, "parallel must match serial");
+    assert_eq!(json_serial, json_warm, "cached must match computed");
+    println!("\nall three runs byte-identical ✓");
+    println!(
+        "parallel speedup vs serial: {:.2}× ({threads} worker(s))",
+        t_serial / t_cold
+    );
+    println!(
+        "warm cache vs cold:         {:.1}% of cold time",
+        100.0 * t_warm / t_cold
+    );
+
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -181,8 +181,7 @@ pub fn fig06() {
             let enc = mpeg1::encode(&clip.model(), rate);
             let series = rate_series(&enc, 30);
             // Print a decimated summary (every second).
-            let decimated: Vec<(f64, f64)> =
-                series.iter().step_by(30).copied().collect();
+            let decimated: Vec<(f64, f64)> = series.iter().step_by(30).copied().collect();
             let min = series.iter().map(|p| p.1).fold(f64::MAX, f64::min);
             let max = series.iter().map(|p| p.1).fold(f64::MIN, f64::max);
             println!(
@@ -253,6 +252,7 @@ pub fn fig13_relative() {
         frame_loss: f64,
     }
     let mut all = Vec::new();
+    let runner = Runner::from_env();
     for clip in [ClipId2::Lost, ClipId2::Dark] {
         println!(
             "\n# Relative quality (reference = 1.7 Mbps encoding), clip {:?}",
@@ -262,11 +262,16 @@ pub fn fig13_relative() {
             .map(|i| (1_000_000.0 + i as f64 * 150_000.0) as u64)
             .collect();
         for enc in [1_000_000u64, 1_500_000, 1_700_000] {
+            let cfgs: Vec<QboneConfig> = rates
+                .iter()
+                .map(|&r| {
+                    let mut cfg = QboneConfig::new(clip, enc, EfProfile::new(r, DEPTH_3MTU));
+                    cfg.score_vs_best = true;
+                    cfg
+                })
+                .collect();
             let mut rows = Vec::new();
-            for &r in &rates {
-                let mut cfg = QboneConfig::new(clip, enc, EfProfile::new(r, DEPTH_3MTU));
-                cfg.score_vs_best = true;
-                let out = run_qbone(&cfg);
+            for (&r, out) in rates.iter().zip(runner.run_qbone_batch(&cfgs)) {
                 let q = out.quality_vs_best.expect("requested");
                 rows.push(vec![
                     format!("{:.2}", r as f64 / 1e6),
@@ -341,12 +346,21 @@ pub fn ablation_bimodal() {
     let rates: Vec<u64> = (0..10)
         .map(|i| (enc as f64 * (0.9 + i as f64 * 0.55)) as u64)
         .collect();
-    for (name, server) in [("paced", QboneServer::Paced), ("bursty", QboneServer::Bursty)] {
+    let runner = Runner::from_env();
+    for (name, server) in [
+        ("paced", QboneServer::Paced),
+        ("bursty", QboneServer::Bursty),
+    ] {
+        let cfgs: Vec<QboneConfig> = rates
+            .iter()
+            .map(|&r| {
+                let mut cfg = QboneConfig::new(ClipId2::Lost, enc, EfProfile::new(r, DEPTH_2MTU));
+                cfg.server = server;
+                cfg
+            })
+            .collect();
         let mut rows = Vec::new();
-        for &r in &rates {
-            let mut cfg = QboneConfig::new(ClipId2::Lost, enc, EfProfile::new(r, DEPTH_2MTU));
-            cfg.server = server;
-            let out = run_qbone(&cfg);
+        for (&r, out) in rates.iter().zip(runner.run_qbone_batch(&cfgs)) {
             rows.push(vec![
                 format!("{:.2}", r as f64 / 1e6),
                 format!("{:.3}", out.quality),
@@ -386,14 +400,22 @@ pub fn ablation_death_spiral() {
     }
     let mut all = Vec::new();
     let mut rows = Vec::new();
-    for r in [600_000u64, 800_000, 1_000_000, 1_200_000, 1_600_000, 2_000_000] {
-        let mut cfg = LocalConfig::new(
-            ClipId2::Lost,
-            EfProfile::new(r, DEPTH_2MTU),
-            LocalTransport::Udp,
-        );
-        cfg.multi_rate = true;
-        let out = run_local(&cfg);
+    let rates = [
+        600_000u64, 800_000, 1_000_000, 1_200_000, 1_600_000, 2_000_000,
+    ];
+    let cfgs: Vec<LocalConfig> = rates
+        .iter()
+        .map(|&r| {
+            let mut cfg = LocalConfig::new(
+                ClipId2::Lost,
+                EfProfile::new(r, DEPTH_2MTU),
+                LocalTransport::Udp,
+            );
+            cfg.multi_rate = true;
+            cfg
+        })
+        .collect();
+    for (&r, out) in rates.iter().zip(Runner::from_env().run_local_batch(&cfgs)) {
         rows.push(vec![
             format!("{:.2}", r as f64 / 1e6),
             format!("{:.3}", out.quality),
@@ -412,7 +434,13 @@ pub fn ablation_death_spiral() {
     print!(
         "{}",
         format_table(
-            &["token rate (Mbps)", "quality", "collapses", "broken", "frame loss"],
+            &[
+                "token rate (Mbps)",
+                "quality",
+                "collapses",
+                "broken",
+                "frame loss"
+            ],
             &rows
         )
     );
@@ -432,13 +460,18 @@ pub fn ablation_bucket_depth() {
     let mut all = Vec::new();
     let mut rows = Vec::new();
     let enc = 1_500_000u64;
-    for depth in [1500u32, 2250, 3000, 3750, 4500, 5250, 6000] {
-        let cfg = QboneConfig::new(
-            ClipId2::Lost,
-            enc,
-            EfProfile::new((enc as f64 * 1.06) as u64, depth),
-        );
-        let out = run_qbone(&cfg);
+    let depths = [1500u32, 2250, 3000, 3750, 4500, 5250, 6000];
+    let cfgs: Vec<QboneConfig> = depths
+        .iter()
+        .map(|&depth| {
+            QboneConfig::new(
+                ClipId2::Lost,
+                enc,
+                EfProfile::new((enc as f64 * 1.06) as u64, depth),
+            )
+        })
+        .collect();
+    for (&depth, out) in depths.iter().zip(Runner::from_env().run_qbone_batch(&cfgs)) {
         rows.push(vec![
             depth.to_string(),
             format!("{:.3}", out.quality),
@@ -476,10 +509,14 @@ pub fn ablation_content() {
     let rates: Vec<u64> = (0..8)
         .map(|i| (enc as f64 * (0.9 + i as f64 * 0.07)) as u64)
         .collect();
+    let runner = Runner::from_env();
     for clip in [ClipId2::Lost, ClipId2::Dark, ClipId2::Talk] {
+        let cfgs: Vec<QboneConfig> = rates
+            .iter()
+            .map(|&r| QboneConfig::new(clip, enc, EfProfile::new(r, DEPTH_3MTU)))
+            .collect();
         let mut rows = Vec::new();
-        for &r in &rates {
-            let out = run_qbone(&QboneConfig::new(clip, enc, EfProfile::new(r, DEPTH_3MTU)));
+        for (&r, out) in rates.iter().zip(runner.run_qbone_batch(&cfgs)) {
             rows.push(vec![
                 format!("{:.2}", r as f64 / 1e6),
                 format!("{:.3}", out.quality),
@@ -514,13 +551,31 @@ pub fn ablation_multirate() {
     }
     let mut all = Vec::new();
     let mut rows = Vec::new();
-    for r in [1_000_000u64, 1_200_000, 1_400_000, 1_600_000, 1_800_000, 2_000_000, 2_200_000] {
-        let mut fixed = QboneConfig::new(ClipId2::Lost, 1_700_000, EfProfile::new(r, DEPTH_3MTU));
-        fixed.score_vs_best = true;
-        let mut multi = fixed.clone();
-        multi.server = QboneServer::MultiRatePaced;
-        let f = run_qbone(&fixed).quality_vs_best.expect("requested");
-        let m = run_qbone(&multi).quality_vs_best.expect("requested");
+    let rates = [
+        1_000_000u64,
+        1_200_000,
+        1_400_000,
+        1_600_000,
+        1_800_000,
+        2_000_000,
+        2_200_000,
+    ];
+    // One batch, fixed/multi-rate interleaved per rate point.
+    let cfgs: Vec<QboneConfig> = rates
+        .iter()
+        .flat_map(|&r| {
+            let mut fixed =
+                QboneConfig::new(ClipId2::Lost, 1_700_000, EfProfile::new(r, DEPTH_3MTU));
+            fixed.score_vs_best = true;
+            let mut multi = fixed.clone();
+            multi.server = QboneServer::MultiRatePaced;
+            [fixed, multi]
+        })
+        .collect();
+    let outs = Runner::from_env().run_qbone_batch(&cfgs);
+    for (&r, pair) in rates.iter().zip(outs.chunks(2)) {
+        let f = pair[0].quality_vs_best.expect("requested");
+        let m = pair[1].quality_vs_best.expect("requested");
         rows.push(vec![
             format!("{:.1}", r as f64 / 1e6),
             format!("{f:.3}"),
@@ -535,7 +590,11 @@ pub fn ablation_multirate() {
     print!(
         "{}",
         format_table(
-            &["token rate (Mbps)", "fixed 1.7M quality", "multi-rate quality"],
+            &[
+                "token rate (Mbps)",
+                "fixed 1.7M quality",
+                "multi-rate quality"
+            ],
             &rows
         )
     );
@@ -636,9 +695,21 @@ pub fn ablation_hop_jitter() {
         sim.run_until(SimTime::from_secs(110));
         let media = sim.net.stats.flow(dsv_core::qbone::MEDIA_FLOW);
         let rep = ch.borrow().report();
-        let p50 = media.delay_hist.quantile(0.50).map(|d| d.as_millis_f64()).unwrap_or(0.0);
-        let p99 = media.delay_hist.quantile(0.99).map(|d| d.as_millis_f64()).unwrap_or(0.0);
-        let jit = media.delay_hist.jitter().map(|d| d.as_millis_f64()).unwrap_or(0.0);
+        let p50 = media
+            .delay_hist
+            .quantile(0.50)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0);
+        let p99 = media
+            .delay_hist
+            .quantile(0.99)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0);
+        let jit = media
+            .delay_hist
+            .jitter()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0);
         rows.push(vec![
             hops.to_string(),
             format!("{p50:.1}"),
@@ -657,7 +728,13 @@ pub fn ablation_hop_jitter() {
     print!(
         "{}",
         format_table(
-            &["hops", "p50 delay (ms)", "p99 delay (ms)", "jitter p99-p50 (ms)", "frame loss"],
+            &[
+                "hops",
+                "p50 delay (ms)",
+                "p99 delay (ms)",
+                "jitter p99-p50 (ms)",
+                "frame loss"
+            ],
             &rows
         )
     );
@@ -681,17 +758,23 @@ pub fn ablation_af_phb() {
     }
     let mut all = Vec::new();
     let mut rows = Vec::new();
-    for (load, cir) in [
+    let loads = [
         (0u64, 0u64),
         (1_000_000, 500_000),
         (3_000_000, 2_000_000),
         (5_000_000, 3_500_000),
         (7_000_000, 5_000_000),
         (9_000_000, 6_500_000),
-    ] {
-        let mut cfg = AfConfig::new(ClipId2::Lost, 1_500_000, load);
-        cfg.cross_cir_bps = cir;
-        let out = run_af(&cfg);
+    ];
+    let cfgs: Vec<AfConfig> = loads
+        .iter()
+        .map(|&(load, cir)| {
+            let mut cfg = AfConfig::new(ClipId2::Lost, 1_500_000, load);
+            cfg.cross_cir_bps = cir;
+            cfg
+        })
+        .collect();
+    for (&(load, cir), out) in loads.iter().zip(Runner::from_env().run_af_batch(&cfgs)) {
         rows.push(vec![
             format!("{:.1}", load as f64 / 1e6),
             format!("{:.1}", cir as f64 / 1e6),
@@ -710,7 +793,13 @@ pub fn ablation_af_phb() {
     print!(
         "{}",
         format_table(
-            &["cross load (Mbps)", "cross CIR (Mbps)", "quality", "frame loss", "packet loss"],
+            &[
+                "cross load (Mbps)",
+                "cross CIR (Mbps)",
+                "quality",
+                "frame loss",
+                "packet loss"
+            ],
             &rows
         )
     );
@@ -733,19 +822,26 @@ pub fn ablation_shape_vs_drop() {
     }
     let mut all = Vec::new();
     let mut rows = Vec::new();
-    for r in [900_000u64, 1_100_000, 1_300_000, 1_600_000] {
-        for depth in [DEPTH_2MTU, DEPTH_3MTU] {
-            let mk = |shaped: bool| {
-                let mut cfg = LocalConfig::new(
-                    ClipId2::Lost,
-                    EfProfile::new(r, depth),
-                    LocalTransport::Udp,
-                );
+    let grid: Vec<(u64, u32)> = [900_000u64, 1_100_000, 1_300_000, 1_600_000]
+        .into_iter()
+        .flat_map(|r| [(r, DEPTH_2MTU), (r, DEPTH_3MTU)])
+        .collect();
+    // One batch, policed/shaped interleaved per (rate, depth) point.
+    let cfgs: Vec<LocalConfig> = grid
+        .iter()
+        .flat_map(|&(r, depth)| {
+            [false, true].map(|shaped| {
+                let mut cfg =
+                    LocalConfig::new(ClipId2::Lost, EfProfile::new(r, depth), LocalTransport::Udp);
                 cfg.shaped = shaped;
-                run_local(&cfg)
-            };
-            let dropped = mk(false);
-            let shaped = mk(true);
+                cfg
+            })
+        })
+        .collect();
+    let outs = Runner::from_env().run_local_batch(&cfgs);
+    for (&(r, depth), pair) in grid.iter().zip(outs.chunks(2)) {
+        let (dropped, shaped) = (&pair[0], &pair[1]);
+        {
             rows.push(vec![
                 format!("{:.2}", r as f64 / 1e6),
                 depth.to_string(),
@@ -763,7 +859,12 @@ pub fn ablation_shape_vs_drop() {
     print!(
         "{}",
         format_table(
-            &["token rate (Mbps)", "depth", "quality (drop)", "quality (shaped)"],
+            &[
+                "token rate (Mbps)",
+                "depth",
+                "quality (drop)",
+                "quality (shaped)"
+            ],
             &rows
         )
     );

@@ -87,7 +87,10 @@ fn print_outcome(out: &RunOutcome, json: bool) {
     println!("longest freeze        : {} frames", out.longest_freeze);
     println!("failed VQM segments   : {}", out.failed_segments);
     if out.collapses > 0 || out.broken {
-        println!("server collapses      : {} (broken: {})", out.collapses, out.broken);
+        println!(
+            "server collapses      : {} (broken: {})",
+            out.collapses, out.broken
+        );
     }
 }
 

@@ -85,8 +85,7 @@ impl RunOutcome {
             quality_vs_best: vqm_vs_best.map(|v| v.overall),
             frame_loss: report.frame_loss_fraction(),
             packet_loss: media_flow.loss_fraction(),
-            policer_drops: media_flow
-                .drops_for(dsv_net::packet::DropReason::PolicerNonConformant),
+            policer_drops: media_flow.drops_for(dsv_net::packet::DropReason::PolicerNonConformant),
             queue_drops: media_flow.drops_for(dsv_net::packet::DropReason::QueueOverflow),
             shaper_drops,
             rx_packets: media_flow.rx_packets,
@@ -145,8 +144,8 @@ pub fn score_run(
 /// session handshake, buffering and stragglers.
 pub fn run_horizon(clip: ClipId) -> SimDuration {
     let frames = clip.frames() as u64;
-    let clip_len = dsv_media::frame::presentation_time(frames as u32)
-        .saturating_since(dsv_sim::SimTime::ZERO);
+    let clip_len =
+        dsv_media::frame::presentation_time(frames as u32).saturating_since(dsv_sim::SimTime::ZERO);
     clip_len + SimDuration::from_secs(30)
 }
 

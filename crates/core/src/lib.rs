@@ -28,6 +28,7 @@ pub mod experiment;
 pub mod local;
 pub mod qbone;
 pub mod report;
+pub mod runner;
 pub mod sweep;
 
 /// Convenient re-exports.
@@ -44,8 +45,7 @@ pub mod prelude {
     pub use crate::local::{run_local, run_local_detailed, LocalConfig, LocalTransport};
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};
     pub use crate::report::{format_sweep, format_table, table4_summary};
-    pub use crate::sweep::{
-        default_rate_grid, local_sweep, qbone_sweep, SweepPoint, SweepResult,
-    };
+    pub use crate::runner::{Job, Runner};
+    pub use crate::sweep::{default_rate_grid, local_sweep, qbone_sweep, SweepPoint, SweepResult};
     pub use dsv_media::scene::ClipId;
 }

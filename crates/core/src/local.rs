@@ -237,8 +237,7 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);
-    let shaper_drops =
-        media.drops_for(dsv_net::packet::DropReason::ShaperOverflow);
+    let shaper_drops = media.drops_for(dsv_net::packet::DropReason::ShaperOverflow);
     let (collapses, broken) = adaptive_handle
         .map(|h| {
             let s = h.borrow();
@@ -246,8 +245,15 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
         })
         .unwrap_or((0, false));
     let (same, _) = score_run(&model, &clip, &report, None);
-    let outcome =
-        RunOutcome::assemble(&report, &media, &same, None, shaper_drops, collapses, broken);
+    let outcome = RunOutcome::assemble(
+        &report,
+        &media,
+        &same,
+        None,
+        shaper_drops,
+        collapses,
+        broken,
+    );
     (outcome, report)
 }
 

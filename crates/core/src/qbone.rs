@@ -10,7 +10,6 @@
 //! the paper's observation that interfering traffic caused "only minor
 //! variations".
 
-
 use dsv_diffserv::classifier::MatchRule;
 use dsv_diffserv::policer::Policer;
 use dsv_diffserv::policy::{PolicyAction, PolicyTable};
@@ -29,9 +28,7 @@ use dsv_stream::playback::PlaybackConfig;
 use dsv_stream::server::paced::{PacedConfig, PacedServer};
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{
-    encoded_features, run_horizon, score_run, EfProfile, RunOutcome,
-};
+use crate::experiment::{encoded_features, run_horizon, score_run, EfProfile, RunOutcome};
 
 /// Flow id of the media stream.
 pub const MEDIA_FLOW: FlowId = FlowId(1);
@@ -182,9 +179,30 @@ pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client:
         ))
     };
     let wan = |rate: u64, ms: u64| Link::new(rate, SimDuration::from_millis(ms));
-    b.connect_with(remote_edge, core1, wan(45_000_000, 5), wan(45_000_000, 5), prio(), prio());
-    b.connect_with(core1, core2, wan(155_000_000, 20), wan(155_000_000, 20), prio(), prio());
-    b.connect_with(core2, local_edge, wan(45_000_000, 5), wan(45_000_000, 5), prio(), prio());
+    b.connect_with(
+        remote_edge,
+        core1,
+        wan(45_000_000, 5),
+        wan(45_000_000, 5),
+        prio(),
+        prio(),
+    );
+    b.connect_with(
+        core1,
+        core2,
+        wan(155_000_000, 20),
+        wan(155_000_000, 20),
+        prio(),
+        prio(),
+    );
+    b.connect_with(
+        core2,
+        local_edge,
+        wan(45_000_000, 5),
+        wan(45_000_000, 5),
+        prio(),
+        prio(),
+    );
 
     // Ingress policing at the remote border (Cisco CAR, drop).
     let policer = Policer::car_drop(cfg.profile.token_rate_bps, cfg.profile.bucket_depth_bytes);

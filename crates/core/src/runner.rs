@@ -1,0 +1,515 @@
+//! Parallel, cached execution of experiment grids.
+//!
+//! Every figure in the paper's evaluation is a grid of independent
+//! experiment runs (token rate × bucket depth, or a list of ablation
+//! configurations). Each run is a *pure function of its configuration*:
+//! all randomness is drawn from seeds stored in the config, so a point's
+//! [`RunOutcome`] does not depend on which thread computed it or in which
+//! order. The [`Runner`] exploits that twice:
+//!
+//! * **Parallelism** — grid points fan out over a scoped thread pool
+//!   (work-stealing by atomic index). Results land in per-point slots, so
+//!   the output order is the input order and a parallel run is
+//!   bit-identical to a serial one.
+//! * **Caching** — each point is content-addressed by an FNV-1a hash of
+//!   its kind tag and canonical config JSON (which includes the
+//!   [`EfProfile`](crate::experiment::EfProfile)). Outcomes persist under
+//!   `results/cache/`, so re-running `all_figures` (or any figure binary)
+//!   skips every already-computed point. A config change — different
+//!   rate, depth, seed, clip, horizon — changes the hash and misses the
+//!   cache; the stored config is compared byte-for-byte on load to guard
+//!   against hash collisions and stale schema.
+//!
+//! The cache deliberately does **not** hash the simulator code itself:
+//! after changing simulation behaviour, delete `results/cache/` (or run
+//! with `DSV_CACHE=0`) to force cold recomputation.
+//!
+//! Environment knobs (read by [`Runner::from_env`]):
+//!
+//! | variable       | effect                                              |
+//! |----------------|-----------------------------------------------------|
+//! | `DSV_THREADS`  | worker count (`1` = serial; default: all cores)     |
+//! | `DSV_CACHE`    | `0`/`off` disables; a path overrides the cache dir  |
+//! | `DSV_PROGRESS` | `1`/`0` forces the progress meter on/off (default: on when stderr is a TTY) |
+
+use std::fs;
+use std::io::{IsTerminal, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::af::{run_af, AfConfig};
+use crate::experiment::{EfProfile, RunOutcome};
+use crate::local::{run_local, LocalConfig};
+use crate::qbone::{run_qbone, QboneConfig};
+use crate::sweep::{SweepPoint, SweepResult};
+
+/// One unit of grid work: a fully specified experiment configuration.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A QBone wide-area run.
+    Qbone(QboneConfig),
+    /// A local Frame-Relay testbed run.
+    Local(LocalConfig),
+    /// An AF PHB run.
+    Af(AfConfig),
+}
+
+impl Job {
+    /// Short tag naming the testbed; part of the cache key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Job::Qbone(_) => "qbone",
+            Job::Local(_) => "local",
+            Job::Af(_) => "af",
+        }
+    }
+
+    /// Canonical JSON of the configuration; the content being addressed.
+    fn config_json(&self) -> String {
+        match self {
+            Job::Qbone(cfg) => serde_json::to_string(cfg),
+            Job::Local(cfg) => serde_json::to_string(cfg),
+            Job::Af(cfg) => serde_json::to_string(cfg),
+        }
+        .expect("config serializes")
+    }
+
+    /// Run the experiment this job describes.
+    fn execute(&self) -> RunOutcome {
+        match self {
+            Job::Qbone(cfg) => run_qbone(cfg),
+            Job::Local(cfg) => run_local(cfg),
+            Job::Af(cfg) => run_af(cfg),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a content-addressed filename needs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One persisted cache record. The config JSON rides along so a load can
+/// verify it addressed the right content (collision/staleness guard).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEntry {
+    kind: String,
+    config: String,
+    outcome: RunOutcome,
+}
+
+/// Live progress across worker threads: points done, throughput, ETA and
+/// aggregate drop counters, reported on stderr.
+struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    cached: AtomicUsize,
+    policer_drops: AtomicU64,
+    queue_drops: AtomicU64,
+    shaper_drops: AtomicU64,
+    start: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    fn new(total: usize, enabled: bool) -> Progress {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            policer_drops: AtomicU64::new(0),
+            queue_drops: AtomicU64::new(0),
+            shaper_drops: AtomicU64::new(0),
+            start: Instant::now(),
+            enabled,
+        }
+    }
+
+    fn record(&self, outcome: &RunOutcome, cache_hit: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if cache_hit {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        self.policer_drops
+            .fetch_add(outcome.policer_drops, Ordering::Relaxed);
+        self.queue_drops
+            .fetch_add(outcome.queue_drops, Ordering::Relaxed);
+        self.shaper_drops
+            .fetch_add(outcome.shaper_drops, Ordering::Relaxed);
+        if self.enabled {
+            self.print(done, false);
+        }
+    }
+
+    fn print(&self, done: usize, final_line: bool) {
+        let secs = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / secs;
+        let eta = (self.total.saturating_sub(done)) as f64 / rate.max(1e-9);
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[runner] {done}/{} points ({} cached) | {rate:.2} pts/s | ETA {eta:.0}s | \
+             drops: policer {}, queue {}, shaper {}",
+            self.total,
+            self.cached.load(Ordering::Relaxed),
+            self.policer_drops.load(Ordering::Relaxed),
+            self.queue_drops.load(Ordering::Relaxed),
+            self.shaper_drops.load(Ordering::Relaxed),
+        );
+        if final_line {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+
+    fn finish(&self) {
+        if self.enabled && self.total > 0 {
+            self.print(self.done.load(Ordering::Relaxed), true);
+        }
+    }
+}
+
+/// The grid-execution engine: fans [`Job`]s over threads, with an
+/// optional persistent result cache. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    progress: bool,
+}
+
+/// Default cache location: `results/cache/` at the repository root.
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/cache")
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_dir: Some(default_cache_dir()),
+            progress: std::io::stderr().is_terminal(),
+        }
+    }
+}
+
+impl Runner {
+    /// A runner configured from the environment (`DSV_THREADS`,
+    /// `DSV_CACHE`, `DSV_PROGRESS`); the defaults are all cores, the
+    /// persistent cache, and a progress meter when stderr is a TTY.
+    pub fn from_env() -> Runner {
+        let mut r = Runner::default();
+        if let Ok(v) = std::env::var("DSV_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                r.threads = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("DSV_CACHE") {
+            let v = v.trim();
+            r.cache_dir = match v {
+                "0" | "off" | "" => None,
+                path => Some(PathBuf::from(path)),
+            };
+        }
+        if let Ok(v) = std::env::var("DSV_PROGRESS") {
+            r.progress = v.trim() != "0";
+        }
+        r
+    }
+
+    /// A single-threaded runner with no cache and no progress output —
+    /// the reference configuration for determinism comparisons.
+    pub fn serial() -> Runner {
+        Runner {
+            threads: 1,
+            cache_dir: None,
+            progress: false,
+        }
+    }
+
+    /// Set the worker-thread count (1 = serial execution).
+    pub fn with_threads(mut self, threads: usize) -> Runner {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the cache directory, or disable caching with `None`.
+    pub fn with_cache(mut self, dir: Option<PathBuf>) -> Runner {
+        self.cache_dir = dir;
+        self
+    }
+
+    /// Force the progress meter on or off.
+    pub fn with_progress(mut self, on: bool) -> Runner {
+        self.progress = on;
+        self
+    }
+
+    /// Run every job, in parallel, returning outcomes **in job order**.
+    ///
+    /// Outcomes are pure functions of each job's config (every RNG in a
+    /// run is seeded from it), so the result is identical for any thread
+    /// count — parallel output is byte-for-byte the serial output.
+    pub fn run(&self, jobs: &[Job]) -> Vec<RunOutcome> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let slots: Vec<OnceLock<(RunOutcome, bool)>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let progress = Progress::new(n, self.progress);
+        let workers = self.threads.clamp(1, n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.run_one(&jobs[i]);
+                    progress.record(&result.0, result.1);
+                    slots[i].set(result).expect("each slot is filled once");
+                });
+            }
+        });
+        progress.finish();
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker filled every slot").0)
+            .collect()
+    }
+
+    /// Run one job, consulting the cache; returns `(outcome, cache_hit)`.
+    fn run_one(&self, job: &Job) -> (RunOutcome, bool) {
+        let Some(dir) = &self.cache_dir else {
+            return (job.execute(), false);
+        };
+        let config = job.config_json();
+        let mut keyed = Vec::with_capacity(job.kind().len() + 1 + config.len());
+        keyed.extend_from_slice(job.kind().as_bytes());
+        keyed.push(0);
+        keyed.extend_from_slice(config.as_bytes());
+        let path = dir.join(format!("{}-{:016x}.json", job.kind(), fnv1a64(&keyed)));
+        if let Some(outcome) = load_cached(&path, job.kind(), &config) {
+            return (outcome, true);
+        }
+        let outcome = job.execute();
+        store_cached(
+            dir,
+            &path,
+            &CacheEntry {
+                kind: job.kind().to_string(),
+                config,
+                outcome: outcome.clone(),
+            },
+        );
+        (outcome, false)
+    }
+
+    /// Run a QBone figure's grid (`rates × depths`) through this runner.
+    pub fn qbone_sweep(
+        &self,
+        base: &QboneConfig,
+        rates: &[u64],
+        depths: &[u32],
+        label: impl Into<String>,
+    ) -> SweepResult {
+        let jobs = grid_jobs(rates, depths, |rate, depth| {
+            let mut cfg = base.clone();
+            cfg.profile = EfProfile::new(rate, depth);
+            Job::Qbone(cfg)
+        });
+        self.collect_sweep(jobs, rates, depths, label)
+    }
+
+    /// Run a local-testbed grid through this runner.
+    pub fn local_sweep(
+        &self,
+        base: &LocalConfig,
+        rates: &[u64],
+        depths: &[u32],
+        label: impl Into<String>,
+    ) -> SweepResult {
+        let jobs = grid_jobs(rates, depths, |rate, depth| {
+            let mut cfg = base.clone();
+            cfg.profile = EfProfile::new(rate, depth);
+            Job::Local(cfg)
+        });
+        self.collect_sweep(jobs, rates, depths, label)
+    }
+
+    fn collect_sweep(
+        &self,
+        jobs: Vec<Job>,
+        rates: &[u64],
+        depths: &[u32],
+        label: impl Into<String>,
+    ) -> SweepResult {
+        let outcomes = self.run(&jobs);
+        let points = depths
+            .iter()
+            .flat_map(|&depth| rates.iter().map(move |&rate| (rate, depth)))
+            .zip(outcomes)
+            .map(
+                |((token_rate_bps, bucket_depth_bytes), outcome)| SweepPoint {
+                    token_rate_bps,
+                    bucket_depth_bytes,
+                    outcome,
+                },
+            )
+            .collect();
+        SweepResult {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Run a batch of QBone configurations, outcomes in input order.
+    pub fn run_qbone_batch(&self, cfgs: &[QboneConfig]) -> Vec<RunOutcome> {
+        let jobs: Vec<Job> = cfgs.iter().cloned().map(Job::Qbone).collect();
+        self.run(&jobs)
+    }
+
+    /// Run a batch of local-testbed configurations, outcomes in input order.
+    pub fn run_local_batch(&self, cfgs: &[LocalConfig]) -> Vec<RunOutcome> {
+        let jobs: Vec<Job> = cfgs.iter().cloned().map(Job::Local).collect();
+        self.run(&jobs)
+    }
+
+    /// Run a batch of AF configurations, outcomes in input order.
+    pub fn run_af_batch(&self, cfgs: &[AfConfig]) -> Vec<RunOutcome> {
+        let jobs: Vec<Job> = cfgs.iter().cloned().map(Job::Af).collect();
+        self.run(&jobs)
+    }
+}
+
+/// Build the depth-major job grid (the order `SweepResult` documents).
+fn grid_jobs(rates: &[u64], depths: &[u32], mut make: impl FnMut(u64, u32) -> Job) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(rates.len() * depths.len());
+    for &depth in depths {
+        for &rate in rates {
+            jobs.push(make(rate, depth));
+        }
+    }
+    jobs
+}
+
+/// Load a cache entry if it exists *and* addresses exactly this config.
+fn load_cached(path: &Path, kind: &str, config: &str) -> Option<RunOutcome> {
+    let text = fs::read_to_string(path).ok()?;
+    let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+    (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+}
+
+/// Persist a cache entry atomically (tmp file + rename), best-effort:
+/// a read-only results directory degrades to "no cache", not a panic.
+fn store_cached(dir: &Path, path: &Path, entry: &CacheEntry) {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let json = serde_json::to_string_pretty(entry).expect("cache entry serializes");
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, path).is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{DEPTH_2MTU, DEPTH_3MTU};
+    use crate::qbone::ClipId2;
+
+    fn tiny_base() -> QboneConfig {
+        QboneConfig::new(
+            ClipId2::Lost,
+            1_000_000,
+            EfProfile::new(1_000_000, DEPTH_2MTU),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let base = tiny_base();
+        let rates = [900_000u64, 1_400_000];
+        let depths = [DEPTH_2MTU, DEPTH_3MTU];
+        let serial = Runner::serial().qbone_sweep(&base, &rates, &depths, "d");
+        let parallel = Runner::serial()
+            .with_threads(4)
+            .qbone_sweep(&base, &rates, &depths, "d");
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_round_trips_and_guards_config() {
+        let dir = std::env::temp_dir().join(format!("dsv-runner-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let runner = Runner::serial().with_cache(Some(dir.clone()));
+        let job = Job::Qbone(tiny_base());
+        let (cold, hit0) = runner.run_one(&job);
+        assert!(!hit0, "first run must be a miss");
+        let (warm, hit1) = runner.run_one(&job);
+        assert!(hit1, "second run must hit");
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap()
+        );
+        // A different profile is a different address: no false hit.
+        let mut other = tiny_base();
+        other.profile = EfProfile::new(1_100_000, DEPTH_3MTU);
+        let (_, hit2) = runner.run_one(&Job::Qbone(other));
+        assert!(!hit2, "changed config must miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_fall_back_to_execution() {
+        let dir = std::env::temp_dir().join(format!("dsv-runner-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let runner = Runner::serial().with_cache(Some(dir.clone()));
+        let job = Job::Qbone(tiny_base());
+        // Poison the exact cache path this job addresses.
+        let config = job.config_json();
+        let mut keyed = Vec::new();
+        keyed.extend_from_slice(job.kind().as_bytes());
+        keyed.push(0);
+        keyed.extend_from_slice(config.as_bytes());
+        let path = dir.join(format!("{}-{:016x}.json", job.kind(), fnv1a64(&keyed)));
+        fs::write(&path, "{not json").unwrap();
+        let (_, hit) = runner.run_one(&job);
+        assert!(!hit, "corrupt entry must not count as a hit");
+        // And it must have been repaired in place.
+        let (_, hit2) = runner.run_one(&job);
+        assert!(hit2, "repaired entry hits");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_matches_reference_values() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -7,9 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{EfProfile, RunOutcome};
-use crate::local::{run_local, LocalConfig};
-use crate::qbone::{run_qbone, QboneConfig};
+use crate::experiment::RunOutcome;
+use crate::local::LocalConfig;
+use crate::qbone::QboneConfig;
+use crate::runner::Runner;
 
 /// One grid point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,73 +56,47 @@ impl SweepResult {
 }
 
 /// A standard token-rate grid for an encoding: from 0.85× the nominal rate
-/// up to ~1.45×, concentrated where the paper sampled (around and above
-/// the average rate).
+/// up to 1.45×, concentrated where the paper sampled (around and above
+/// the average rate). Grid values round to the nearest bps, so the
+/// endpoints are exactly `0.85×` and `1.45×` the nominal rate (truncation
+/// used to shave up to 1 bps off every point, including both endpoints).
 pub fn default_rate_grid(nominal_bps: u64, steps: usize) -> Vec<u64> {
     assert!(steps >= 2);
     let lo = 0.85 * nominal_bps as f64;
     let hi = 1.45 * nominal_bps as f64;
     (0..steps)
-        .map(|i| (lo + (hi - lo) * i as f64 / (steps - 1) as f64) as u64)
+        .map(|i| (lo + (hi - lo) * i as f64 / (steps - 1) as f64).round() as u64)
         .collect()
 }
 
 /// Run a QBone figure's grid: `rates × depths` for one clip/encoding.
+///
+/// Executes through [`Runner::from_env`]: points fan out across worker
+/// threads and hit the persistent result cache (see [`crate::runner`]);
+/// the result is identical to a serial, uncached run.
 pub fn qbone_sweep(
     base: &QboneConfig,
     rates: &[u64],
     depths: &[u32],
     label: impl Into<String>,
 ) -> SweepResult {
-    let mut points = Vec::with_capacity(rates.len() * depths.len());
-    for &depth in depths {
-        for &rate in rates {
-            let mut cfg = base.clone();
-            cfg.profile = EfProfile::new(rate, depth);
-            let outcome = run_qbone(&cfg);
-            points.push(SweepPoint {
-                token_rate_bps: rate,
-                bucket_depth_bytes: depth,
-                outcome,
-            });
-        }
-    }
-    SweepResult {
-        label: label.into(),
-        points,
-    }
+    Runner::from_env().qbone_sweep(base, rates, depths, label)
 }
 
-/// Run a local-testbed grid.
+/// Run a local-testbed grid. Same execution model as [`qbone_sweep`].
 pub fn local_sweep(
     base: &LocalConfig,
     rates: &[u64],
     depths: &[u32],
     label: impl Into<String>,
 ) -> SweepResult {
-    let mut points = Vec::with_capacity(rates.len() * depths.len());
-    for &depth in depths {
-        for &rate in rates {
-            let mut cfg = base.clone();
-            cfg.profile = EfProfile::new(rate, depth);
-            let outcome = run_local(&cfg);
-            points.push(SweepPoint {
-                token_rate_bps: rate,
-                bucket_depth_bytes: depth,
-                outcome,
-            });
-        }
-    }
-    SweepResult {
-        label: label.into(),
-        points,
-    }
+    Runner::from_env().local_sweep(base, rates, depths, label)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{DEPTH_2MTU, DEPTH_3MTU};
+    use crate::experiment::{EfProfile, DEPTH_2MTU, DEPTH_3MTU};
     use crate::qbone::ClipId2;
 
     #[test]
@@ -131,6 +106,20 @@ mod tests {
         assert!(g[0] < 1_700_000, "starts below the encoding rate");
         assert!(*g.last().unwrap() > 2_047_496, "ends above the max rate");
         assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn grid_endpoints_are_exact() {
+        // 0.85 × 1.7M and 1.45 × 1.7M are whole bps values; rounding (not
+        // truncation) must reproduce them exactly at both ends.
+        let g = default_rate_grid(1_700_000, 9);
+        assert_eq!(g[0], 1_445_000);
+        assert_eq!(*g.last().unwrap(), 2_465_000);
+        // A nominal rate that makes the endpoints non-integral rounds to
+        // the nearest bps instead of truncating toward zero.
+        let g = default_rate_grid(999_999, 2);
+        assert_eq!(g[0], (0.85f64 * 999_999.0).round() as u64);
+        assert_eq!(g[1], (1.45f64 * 999_999.0).round() as u64);
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl MatchRule {
         self.src.is_none_or(|v| v == pkt.src)
             && self.dst.is_none_or(|v| v == pkt.dst)
             && self.flow.is_none_or(|v| v == pkt.flow)
-            && self.dscp.is_none_or(|v| v == pkt.dscp || (v.is_ef() && pkt.dscp.is_ef()))
+            && self
+                .dscp
+                .is_none_or(|v| v == pkt.dscp || (v.is_ef() && pkt.dscp.is_ef()))
             && self.proto.is_none_or(|v| v == pkt.proto)
     }
 }

@@ -134,7 +134,7 @@ mod tests {
     #[test]
     fn srtcm_refills_committed_first() {
         let mut m = SrTcm::new(8_000_000, 1500, 1500); // 1 byte/µs
-        // Drain both buckets.
+                                                       // Drain both buckets.
         assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Green);
         assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Yellow);
         assert_eq!(m.meter(SimTime::ZERO, 100), Color::Red);
@@ -160,7 +160,7 @@ mod tests {
         assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Green);
         assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Yellow); // C empty, P ok
         assert_eq!(m.meter(SimTime::ZERO, 1500), Color::Red); // P empty
-        // After 6 ms: P gained 1500 B, C gained 750 B.
+                                                              // After 6 ms: P gained 1500 B, C gained 750 B.
         assert_eq!(m.meter(SimTime::from_millis(6), 1500), Color::Yellow);
     }
 

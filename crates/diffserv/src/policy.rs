@@ -8,7 +8,7 @@
 //! and unmatched packets pass untouched.
 
 use dsv_net::conditioner::{ConditionOutcome, Conditioner, Released};
-use dsv_net::packet::{Dscp, DropReason, Packet};
+use dsv_net::packet::{DropReason, Dscp, Packet};
 use dsv_sim::SimTime;
 
 use crate::classifier::MatchRule;
@@ -258,12 +258,11 @@ mod tests {
                 class: 2,
             },
         );
-        let color_of = |t: &mut PolicyTable<()>, id: u64| match t
-            .submit(SimTime::ZERO, pkt(id, 1, 1500))
-        {
-            ConditionOutcome::Pass(p) => p.dscp,
-            other => panic!("{other:?}"),
-        };
+        let color_of =
+            |t: &mut PolicyTable<()>, id: u64| match t.submit(SimTime::ZERO, pkt(id, 1, 1500)) {
+                ConditionOutcome::Pass(p) => p.dscp,
+                other => panic!("{other:?}"),
+            };
         assert_eq!(color_of(&mut t, 1), Dscp::af(2, 1)); // green
         assert_eq!(color_of(&mut t, 2), Dscp::af(2, 2)); // yellow
         assert_eq!(color_of(&mut t, 3), Dscp::af(2, 3)); // red: never drop

@@ -133,14 +133,20 @@ mod tests {
     #[test]
     fn conformant_passes_immediately() {
         let mut s: Shaper<()> = Shaper::new(1_000_000, 3000, 100_000);
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(1, 1500)), ShaperResult::PassNow(_)));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(1, 1500)),
+            ShaperResult::PassNow(_)
+        ));
     }
 
     #[test]
     fn non_conformant_is_delayed_not_dropped() {
         // 8 Mbps = 1 byte/µs, depth 1500.
         let mut s: Shaper<()> = Shaper::new(8_000_000, 1500, 100_000);
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(1, 1500)), ShaperResult::PassNow(_)));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(1, 1500)),
+            ShaperResult::PassNow(_)
+        ));
         let next = match s.offer(SimTime::ZERO, pkt(2, 1500)) {
             ShaperResult::Queued { next_release } => next_release,
             other => panic!("expected queued, got {other:?}"),
@@ -160,10 +166,19 @@ mod tests {
     #[test]
     fn order_is_preserved_across_queue() {
         let mut s: Shaper<()> = Shaper::new(8_000_000, 1500, 100_000);
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(1, 1500)), ShaperResult::PassNow(_)));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(1, 1500)),
+            ShaperResult::PassNow(_)
+        ));
         // Queue two small packets.
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(2, 700)), ShaperResult::Queued { .. }));
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(3, 100)), ShaperResult::Queued { .. }));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(2, 700)),
+            ShaperResult::Queued { .. }
+        ));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(3, 100)),
+            ShaperResult::Queued { .. }
+        ));
         // Even though packet 3 alone would conform sooner, 2 goes first.
         let (ready, _) = s.pop_ready(SimTime::from_micros(800));
         assert_eq!(ready.iter().map(|p| p.id.0).collect::<Vec<_>>(), vec![2, 3]);
@@ -172,8 +187,14 @@ mod tests {
     #[test]
     fn later_arrival_does_not_overtake_queue() {
         let mut s: Shaper<()> = Shaper::new(8_000_000, 1500, 100_000);
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(1, 1500)), ShaperResult::PassNow(_)));
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(2, 1500)), ShaperResult::Queued { .. }));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(1, 1500)),
+            ShaperResult::PassNow(_)
+        ));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(2, 1500)),
+            ShaperResult::Queued { .. }
+        ));
         // Much later, tokens abound — but packet 3 must still queue behind 2.
         match s.offer(SimTime::from_micros(1400), pkt(3, 100)) {
             ShaperResult::Queued { .. } => {}
@@ -192,10 +213,19 @@ mod tests {
     #[test]
     fn overflow_drops() {
         let mut s: Shaper<()> = Shaper::new(8_000_000, 1500, 2000);
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(1, 1500)), ShaperResult::PassNow(_)));
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(2, 1500)), ShaperResult::Queued { .. }));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(1, 1500)),
+            ShaperResult::PassNow(_)
+        ));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(2, 1500)),
+            ShaperResult::Queued { .. }
+        ));
         // Queue holds 1500 bytes; another 1500 exceeds the 2000-byte cap.
-        assert!(matches!(s.offer(SimTime::ZERO, pkt(3, 1500)), ShaperResult::Overflow(_)));
+        assert!(matches!(
+            s.offer(SimTime::ZERO, pkt(3, 1500)),
+            ShaperResult::Overflow(_)
+        ));
         assert_eq!(s.overflows, 1);
         assert_eq!(s.queue_len(), 1);
         assert_eq!(s.queue_bytes(), 1500);

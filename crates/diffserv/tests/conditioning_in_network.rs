@@ -30,7 +30,11 @@ fn build(
         }),
     );
     b.connect(src, r, Link::fast_ethernet());
-    b.connect(r, sink, Link::new(rate_bps.max(10_000_000), SimDuration::from_micros(100)));
+    b.connect(
+        r,
+        sink,
+        Link::new(rate_bps.max(10_000_000), SimDuration::from_micros(100)),
+    );
     b.set_conditioner(r, cond);
     Simulation::new(b.build())
 }
@@ -103,7 +107,11 @@ fn policer_marks_survivors_ef() {
     let mut sim = Simulation::new(b.build());
     sim.run();
     let mc = handle.borrow();
-    assert!(mc.ef > 100, "conformant packets arrive EF-marked: {}", mc.ef);
+    assert!(
+        mc.ef > 100,
+        "conformant packets arrive EF-marked: {}",
+        mc.ef
+    );
     assert_eq!(mc.other, 0, "nothing arrives unmarked");
 }
 

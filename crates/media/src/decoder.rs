@@ -146,7 +146,12 @@ mod tests {
         let mut rx = vec![true; 24];
         rx[4] = false; // a B frame
         let ok = decodable_frames(&frames, &rx);
-        let lost: Vec<usize> = ok.iter().enumerate().filter(|(_, &o)| !o).map(|(i, _)| i).collect();
+        let lost: Vec<usize> = ok
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| !o)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(lost, vec![4]);
     }
 

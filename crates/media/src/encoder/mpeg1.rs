@@ -125,8 +125,7 @@ pub fn encode(model: &SceneModel, target_bps: u64) -> EncodedClip {
         // near-transparent (~0.95) and 1.0 Mbps visibly quantized (~0.8),
         // matching the modest encoding-quality differences the paper
         // observed between its three rates.
-        let transparent_unit =
-            TRANSPARENT_BPS as f64 / 8.0 / fps() * GOP_N as f64 / gop_weight;
+        let transparent_unit = TRANSPARENT_BPS as f64 / 8.0 / fps() * GOP_N as f64 / gop_weight;
         let demand = transparent_unit * w * (0.55 + 0.9 * c);
         let fidelity = (bytes / demand).min(1.0).powf(0.35).clamp(0.05, 1.0);
 
@@ -155,10 +154,7 @@ mod tests {
     fn gop_pattern() {
         let kinds: Vec<FrameKind> = (0..13).map(frame_kind).collect();
         use FrameKind::*;
-        assert_eq!(
-            kinds,
-            vec![I, B, B, P, B, B, P, B, B, P, B, B, I]
-        );
+        assert_eq!(kinds, vec![I, B, B, P, B, B, P, B, B, P, B, B, I]);
     }
 
     #[test]
@@ -185,10 +181,7 @@ mod tests {
     #[test]
     fn cbr_totals_match_table2_dark() {
         let model = ClipId::Dark.model();
-        for (target, expect) in [
-            (1_700_000u64, 29_975_812f64),
-            (1_500_000, 26_399_218.0),
-        ] {
+        for (target, expect) in [(1_700_000u64, 29_975_812f64), (1_500_000, 26_399_218.0)] {
             let clip = encode(&model, target);
             let total = clip.total_bytes() as f64;
             let err = (total - expect).abs() / expect;

@@ -52,7 +52,11 @@ pub fn encode(model: &SceneModel, cap_bps: u64) -> EncodedClip {
         let fidelity = (bytes / demand).min(1.0).powf(0.8).clamp(0.05, 1.0);
         frames.push(EncodedFrame {
             index: i,
-            kind: if is_key { FrameKind::I } else { FrameKind::Delta },
+            kind: if is_key {
+                FrameKind::I
+            } else {
+                FrameKind::Delta
+            },
             bytes: bytes as u32,
             fidelity,
         });

@@ -36,8 +36,7 @@ pub mod prelude {
     pub use crate::encoder::EncodedClip;
     pub use crate::features::{displayed_stream, encode_features, FeatureFrame, FeatureStream};
     pub use crate::frame::{
-        fps, frame_interval, presentation_time, EncodedFrame, FrameKind, FRAME_HEIGHT,
-        FRAME_WIDTH,
+        fps, frame_interval, presentation_time, EncodedFrame, FrameKind, FRAME_HEIGHT, FRAME_WIDTH,
     };
     pub use crate::scene::{ClipId, Scene, SceneModel};
     pub use crate::stats::{rate_series, ClipStats};

@@ -90,47 +90,62 @@ impl ClipId {
 impl SceneModel {
     /// Build the *Lost* model: ~36 scenes averaging 2 s, high motion.
     pub fn lost() -> SceneModel {
-        SceneModel::generate("Lost", ClipId::Lost.frames(), 0x1057_0001, SceneProfile {
-            mean_scene_frames: 60.0,
-            motion_base: 0.55,
-            motion_spread: 0.35,
-            detail_base: 0.55,
-            detail_spread: 0.3,
-            brightness_base: 125.0,
-            brightness_spread: 45.0,
-            chroma_base: 32.0,
-        })
+        SceneModel::generate(
+            "Lost",
+            ClipId::Lost.frames(),
+            0x1057_0001,
+            SceneProfile {
+                mean_scene_frames: 60.0,
+                motion_base: 0.55,
+                motion_spread: 0.35,
+                detail_base: 0.55,
+                detail_spread: 0.3,
+                brightness_base: 125.0,
+                brightness_spread: 45.0,
+                chroma_base: 32.0,
+            },
+        )
     }
 
     /// Build the *Dark* model: longer scenes, lower brightness, mixed
     /// motion.
     pub fn dark() -> SceneModel {
-        SceneModel::generate("Dark", ClipId::Dark.frames(), 0xDA2C_0002, SceneProfile {
-            mean_scene_frames: 95.0,
-            motion_base: 0.4,
-            motion_spread: 0.35,
-            detail_base: 0.45,
-            detail_spread: 0.3,
-            brightness_base: 85.0,
-            brightness_spread: 35.0,
-            chroma_base: 22.0,
-        })
+        SceneModel::generate(
+            "Dark",
+            ClipId::Dark.frames(),
+            0xDA2C_0002,
+            SceneProfile {
+                mean_scene_frames: 95.0,
+                motion_base: 0.4,
+                motion_spread: 0.35,
+                detail_base: 0.45,
+                detail_spread: 0.3,
+                brightness_base: 85.0,
+                brightness_spread: 35.0,
+                chroma_base: 22.0,
+            },
+        )
     }
 
     /// Build the *Talk* model: long static scenes, minimal motion,
     /// moderate detail — the opposite end of the content spectrum from
     /// *Lost*.
     pub fn talk() -> SceneModel {
-        SceneModel::generate("Talk", ClipId::Talk.frames(), 0x7A1C_0003, SceneProfile {
-            mean_scene_frames: 220.0,
-            motion_base: 0.08,
-            motion_spread: 0.06,
-            detail_base: 0.4,
-            detail_spread: 0.15,
-            brightness_base: 140.0,
-            brightness_spread: 20.0,
-            chroma_base: 26.0,
-        })
+        SceneModel::generate(
+            "Talk",
+            ClipId::Talk.frames(),
+            0x7A1C_0003,
+            SceneProfile {
+                mean_scene_frames: 220.0,
+                motion_base: 0.08,
+                motion_spread: 0.06,
+                detail_base: 0.4,
+                detail_spread: 0.15,
+                brightness_base: 140.0,
+                brightness_spread: 20.0,
+                chroma_base: 26.0,
+            },
+        )
     }
 
     fn generate(name: &'static str, total_frames: u32, seed: u64, p: SceneProfile) -> SceneModel {

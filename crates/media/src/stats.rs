@@ -67,7 +67,10 @@ pub fn rate_series(clip: &EncodedClip, window_frames: usize) -> Vec<(f64, f64)> 
     let window_secs = window_frames as f64 / fps();
     let mut out = Vec::with_capacity(sizes.len() - window_frames + 1);
     let mut sum: u64 = sizes[..window_frames].iter().sum();
-    out.push(((window_frames - 1) as f64 / fps(), sum as f64 * 8.0 / window_secs));
+    out.push((
+        (window_frames - 1) as f64 / fps(),
+        sum as f64 * 8.0 / window_secs,
+    ));
     for i in window_frames..sizes.len() {
         sum += sizes[i];
         sum -= sizes[i - window_frames];

@@ -67,10 +67,10 @@ impl YuvFrame {
                 let p = |dr: isize, dc: isize| -> f64 {
                     y[(r as isize + dr) as usize * w + (c as isize + dc) as usize] as f64
                 };
-                let gx = -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1)
-                    + p(-1, 1) + 2.0 * p(0, 1) + p(1, 1);
-                let gy = -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1)
-                    + p(1, -1) + 2.0 * p(1, 0) + p(1, 1);
+                let gx =
+                    -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1) + p(-1, 1) + 2.0 * p(0, 1) + p(1, 1);
+                let gy =
+                    -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2.0 * p(1, 0) + p(1, 1);
                 sum_sq += gx * gx + gy * gy;
                 n += 1;
             }
@@ -253,10 +253,10 @@ impl<'a> Rasterizer<'a> {
             for c in 0..cw {
                 let x = (c * 2) as f64;
                 let u = (x * c2 + r as f64 * s2 + t * 0.5) * freq2 * std::f64::consts::TAU * 0.5;
-                cb[r * cw + c] = (128.0 + cb_bias + scene.chroma * 0.5 * u.sin())
-                    .clamp(16.0, 240.0) as u8;
-                cr[r * cw + c] = (128.0 + cr_bias + scene.chroma * 0.5 * u.cos())
-                    .clamp(16.0, 240.0) as u8;
+                cb[r * cw + c] =
+                    (128.0 + cb_bias + scene.chroma * 0.5 * u.sin()).clamp(16.0, 240.0) as u8;
+                cr[r * cw + c] =
+                    (128.0 + cr_bias + scene.chroma * 0.5 * u.cos()).clamp(16.0, 240.0) as u8;
             }
         }
         YuvFrame {

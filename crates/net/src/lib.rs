@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::link::Link;
     pub use crate::network::{NetEvent, Network, NetworkBuilder, Simulation};
     pub use crate::packet::{
-        Dscp, DropReason, FlowId, FragmentInfo, NodeId, Packet, PacketId, PortId, Proto,
+        DropReason, Dscp, FlowId, FragmentInfo, NodeId, Packet, PacketId, PortId, Proto,
         ETHERNET_MTU,
     };
     pub use crate::qdisc::{

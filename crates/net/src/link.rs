@@ -59,10 +59,7 @@ mod tests {
         let l = Link::new(2_000_000, SimDuration::from_millis(1));
         // 1500 B at 2 Mbps = 6 ms.
         assert_eq!(l.serialization(1500), SimDuration::from_millis(6));
-        assert_eq!(
-            l.arrival_time(SimTime::ZERO, 1500),
-            SimTime::from_millis(7)
-        );
+        assert_eq!(l.arrival_time(SimTime::ZERO, 1500), SimTime::from_millis(7));
     }
 
     #[test]

@@ -233,10 +233,7 @@ impl<P: 'static> NetworkBuilder<P> {
                     continue;
                 }
                 let Some(di) = dist[i] else {
-                    panic!(
-                        "node {} has no path to host {}",
-                        node.name, dst.0
-                    );
+                    panic!("node {} has no path to host {}", node.name, dst.0);
                 };
                 // Pick the first port whose peer is strictly closer.
                 let port = node
@@ -305,8 +302,13 @@ impl<P: 'static> Network<P> {
             .expect("node is not a host")
     }
 
-    fn dispatch_app<F>(&mut self, now: SimTime, node: NodeId, f: F, queue: &mut EventQueue<NetEvent<P>>)
-    where
+    fn dispatch_app<F>(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        f: F,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) where
         F: FnOnce(&mut dyn Application<P>, &mut AppCtx<P>),
     {
         let idx = node.0 as usize;
@@ -343,7 +345,13 @@ impl<P: 'static> Network<P> {
         }
     }
 
-    fn forward(&mut self, now: SimTime, node: NodeId, pkt: Packet<P>, queue: &mut EventQueue<NetEvent<P>>) {
+    fn forward(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        pkt: Packet<P>,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) {
         let idx = node.0 as usize;
         match self.nodes[idx].routes.get(&pkt.dst).copied() {
             Some(port) => self.enqueue_on_port(now, node, port, pkt, queue),
@@ -399,7 +407,13 @@ impl<P: 'static> Network<P> {
             let arrive = p.link.arrival_time(now, pkt.size);
             let peer = p.peer;
             queue.schedule(now + ser, NetEvent::PortReady { node, port });
-            queue.schedule(arrive, NetEvent::Arrive { node: peer, packet: pkt });
+            queue.schedule(
+                arrive,
+                NetEvent::Arrive {
+                    node: peer,
+                    packet: pkt,
+                },
+            );
         }
     }
 
@@ -429,7 +443,12 @@ impl<P: 'static> Network<P> {
         }
     }
 
-    fn poll_conditioner(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent<P>>) {
+    fn poll_conditioner(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) {
         let idx = node.0 as usize;
         if let Some(mut cond) = self.conditioners[idx].take() {
             let released = cond.release(now);
@@ -469,7 +488,12 @@ impl<P: 'static> World for Network<P> {
                         if packet.dst == node {
                             let delay = now.saturating_since(packet.sent_at);
                             self.stats.on_delivered(
-                                now, packet.flow, packet.id, packet.size, node, delay,
+                                now,
+                                packet.flow,
+                                packet.id,
+                                packet.size,
+                                node,
+                                delay,
                             );
                             self.dispatch_app(
                                 now,
@@ -614,10 +638,7 @@ mod tests {
         assert_eq!(c.rx_packets, 10);
         assert_eq!(c.total_drops(), 0);
         // Delay = 2 × (1.2 ms serialization + 5 µs propagation).
-        assert_eq!(
-            c.delay.min,
-            SimDuration::from_micros(2 * (1200 + 5))
-        );
+        assert_eq!(c.delay.min, SimDuration::from_micros(2 * (1200 + 5)));
         let _ = sim.net.app(rx); // hosts expose their application
     }
 
@@ -666,10 +687,7 @@ mod tests {
         let c = sim.net.stats.flow(FlowId(1));
         assert_eq!(c.tx_packets, 100);
         assert!(c.drops_for(DropReason::QueueOverflow) > 0);
-        assert_eq!(
-            c.rx_packets + c.drops_for(DropReason::QueueOverflow),
-            100
-        );
+        assert_eq!(c.rx_packets + c.drops_for(DropReason::QueueOverflow), 100);
     }
 
     #[test]
@@ -724,7 +742,11 @@ mod tests {
         assert_eq!(ef.total_drops(), 0);
         // EF max delay bounded by one BE packet in service plus its own
         // serialization times; far below BE's queueing delay.
-        assert!(ef.delay.max < SimDuration::from_millis(16), "{:?}", ef.delay.max);
+        assert!(
+            ef.delay.max < SimDuration::from_millis(16),
+            "{:?}",
+            ef.delay.max
+        );
         assert!(be.delay.max > ef.delay.max);
         assert!(be.drops_for(DropReason::QueueOverflow) > 0);
     }

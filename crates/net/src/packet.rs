@@ -212,9 +212,6 @@ mod tests {
             dsv_sim::SimDuration::from_millis(15)
         );
         // Age never goes negative.
-        assert_eq!(
-            p.age(SimTime::from_millis(5)),
-            dsv_sim::SimDuration::ZERO
-        );
+        assert_eq!(p.age(SimTime::from_millis(5)), dsv_sim::SimDuration::ZERO);
     }
 }

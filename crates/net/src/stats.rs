@@ -146,17 +146,27 @@ impl NetStats {
     }
 
     /// Record a transmission by the source application.
-    pub fn on_sent(&mut self, at: SimTime, flow: FlowId, packet: PacketId, size: u32, node: NodeId) {
+    pub fn on_sent(
+        &mut self,
+        at: SimTime,
+        flow: FlowId,
+        packet: PacketId,
+        size: u32,
+        node: NodeId,
+    ) {
         let c = self.flows.entry(flow).or_default();
         c.tx_packets += 1;
         c.tx_bytes += size as u64;
-        self.trace(flow, TraceEntry {
-            at,
-            packet,
-            size,
-            kind: TraceKind::Sent,
-            node,
-        });
+        self.trace(
+            flow,
+            TraceEntry {
+                at,
+                packet,
+                size,
+                kind: TraceKind::Sent,
+                node,
+            },
+        );
     }
 
     /// Record a delivery to the destination application.
@@ -174,13 +184,16 @@ impl NetStats {
         c.rx_bytes += size as u64;
         c.delay.record(delay);
         c.delay_hist.record(delay);
-        self.trace(flow, TraceEntry {
-            at,
-            packet,
-            size,
-            kind: TraceKind::Delivered,
-            node,
-        });
+        self.trace(
+            flow,
+            TraceEntry {
+                at,
+                packet,
+                size,
+                kind: TraceKind::Delivered,
+                node,
+            },
+        );
     }
 
     /// Record a drop.
@@ -195,13 +208,16 @@ impl NetStats {
     ) {
         let c = self.flows.entry(flow).or_default();
         *c.drops.entry(reason).or_insert(0) += 1;
-        self.trace(flow, TraceEntry {
-            at,
-            packet,
-            size,
-            kind: TraceKind::Dropped(reason),
-            node,
-        });
+        self.trace(
+            flow,
+            TraceEntry {
+                at,
+                packet,
+                size,
+                kind: TraceKind::Dropped(reason),
+                node,
+            },
+        );
     }
 
     fn trace(&mut self, flow: FlowId, entry: TraceEntry) {
@@ -242,19 +258,13 @@ impl NetStats {
                 continue;
             }
             while e.at >= win_start + window {
-                out.push((
-                    win_start,
-                    bytes_in_win as f64 * 8.0 / window.as_secs_f64(),
-                ));
+                out.push((win_start, bytes_in_win as f64 * 8.0 / window.as_secs_f64()));
                 win_start += window;
                 bytes_in_win = 0;
             }
             bytes_in_win += e.size as u64;
         }
-        out.push((
-            win_start,
-            bytes_in_win as f64 * 8.0 / window.as_secs_f64(),
-        ));
+        out.push((win_start, bytes_in_win as f64 * 8.0 / window.as_secs_f64()));
         out
     }
 }

@@ -161,10 +161,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(4);
         for _ in 0..1000 {
             let x = rng.bounded_pareto(1.2, 100.0, 10_000.0);
-            assert!(
-                (100.0..=10_000.0 + 1e-6).contains(&x),
-                "out of bounds: {x}"
-            );
+            assert!((100.0..=10_000.0 + 1e-6).contains(&x), "out of bounds: {x}");
         }
     }
 

@@ -321,10 +321,7 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(5), SimDuration::from_millis(10));
-        assert_eq!(
-            t.saturating_since(SimTime::from_secs(1)),
-            SimDuration::ZERO
-        );
+        assert_eq!(t.saturating_since(SimTime::from_secs(1)), SimDuration::ZERO);
         assert_eq!(t.checked_since(SimTime::from_secs(1)), None);
     }
 
@@ -377,10 +374,7 @@ mod tests {
     #[test]
     fn advance_bytes() {
         let t0 = SimTime::from_secs(1);
-        assert_eq!(
-            t0.advance_bytes(1500, 12_000),
-            SimTime::from_secs(2),
-        );
+        assert_eq!(t0.advance_bytes(1500, 12_000), SimTime::from_secs(2),);
     }
 
     #[test]

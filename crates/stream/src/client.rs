@@ -136,8 +136,10 @@ impl StreamClient {
         if self.fb_window_first_seq.is_none() {
             self.fb_window_first_seq = Some(chunk.seq);
         }
-        self.fb_window_highest_seq =
-            Some(self.fb_window_highest_seq.map_or(chunk.seq, |h| h.max(chunk.seq)));
+        self.fb_window_highest_seq = Some(
+            self.fb_window_highest_seq
+                .map_or(chunk.seq, |h| h.max(chunk.seq)),
+        );
 
         if chunk.repair {
             return;
@@ -150,8 +152,7 @@ impl StreamClient {
                 complete_at: None,
                 fidelity: chunk.fidelity,
             });
-        if (chunk.chunk as usize) < asm.chunks_got.len() && !asm.chunks_got[chunk.chunk as usize]
-        {
+        if (chunk.chunk as usize) < asm.chunks_got.len() && !asm.chunks_got[chunk.chunk as usize] {
             asm.chunks_got[chunk.chunk as usize] = true;
             if asm.complete_at.is_none() && asm.chunks_got.iter().all(|&g| g) {
                 asm.complete_at = Some(now);
@@ -480,7 +481,11 @@ mod tests {
                 _ => None,
             })
             .expect("feedback sent");
-        assert!((fb.loss_fraction - 0.2).abs() < 1e-9, "{}", fb.loss_fraction);
+        assert!(
+            (fb.loss_fraction - 0.2).abs() < 1e-9,
+            "{}",
+            fb.loss_fraction
+        );
     }
 
     #[test]

@@ -32,9 +32,7 @@ pub mod prelude {
     pub use crate::packetize::{
         byte_ranges, chunks_for, frame_chunks, frame_datagrams, ChunkSpec, LARGE_DATAGRAM_BYTES,
     };
-    pub use crate::payload::{
-        ControlMsg, FeedbackReport, MediaChunk, StreamPayload, TcpSegment,
-    };
+    pub use crate::payload::{ControlMsg, FeedbackReport, MediaChunk, StreamPayload, TcpSegment};
     pub use crate::playback::{playback_schedule, PlaybackConfig, PlaybackResult};
     pub use crate::server::adaptive::{AdaptiveConfig, AdaptiveServer};
     pub use crate::server::bursty::{BurstyConfig, BurstyServer};

@@ -145,9 +145,7 @@ mod tests {
 
     /// Arrivals exactly on a nominal schedule from t=0.
     fn on_time(n: usize) -> Vec<Option<SimTime>> {
-        (0..n)
-            .map(|k| Some(presentation_time(k as u32)))
-            .collect()
+        (0..n).map(|k| Some(presentation_time(k as u32))).collect()
     }
 
     #[test]

@@ -279,8 +279,7 @@ impl AdaptiveServer {
     }
 
     fn done(&self) -> bool {
-        self.broken
-            || (self.next_frame as usize >= self.frames_len() && self.pacer.is_empty())
+        self.broken || (self.next_frame as usize >= self.frames_len() && self.pacer.is_empty())
     }
 }
 
@@ -350,7 +349,7 @@ impl Application<StreamPayload> for AdaptiveServer {
                         // them, then discard.
                         self.read_frames_due(ctx.now());
                         self.pacer.clear(); // resume fresh at the new tier
-                        // Restart the read loop for the remaining frames.
+                                            // Restart the read loop for the remaining frames.
                         if (self.next_frame as usize) < self.frames_len() {
                             let start = self.play_start.expect("playing");
                             let next_at = read_time(start, self.next_frame);
@@ -371,10 +370,7 @@ mod tests {
     use dsv_media::scene::ClipId;
 
     fn mk(tiers: Vec<EncodedClip>) -> AdaptiveServer {
-        AdaptiveServer::new(
-            AdaptiveConfig::new(NodeId(0), FlowId(1), Dscp::EF),
-            tiers,
-        )
+        AdaptiveServer::new(AdaptiveConfig::new(NodeId(0), FlowId(1), Dscp::EF), tiers)
     }
 
     fn fb(loss: f64, delay_ms: u64) -> FeedbackReport {
@@ -422,7 +418,11 @@ mod tests {
             feed(&mut s, fb(0.0, 10), 2000 + i * 1000);
         }
         assert!(s.boost < peak);
-        assert!((s.boost - 1.0).abs() < 0.05, "boost decays to 1: {}", s.boost);
+        assert!(
+            (s.boost - 1.0).abs() < 0.05,
+            "boost decays to 1: {}",
+            s.boost
+        );
     }
 
     #[test]

@@ -76,10 +76,7 @@ impl BurstyServer {
         let chunks = frame_datagrams(&f, &mut self.next_datagram);
         for c in &chunks {
             let dgram = c.datagram.expect("datagram packetizer sets ids");
-            let frags_in_dgram = chunks
-                .iter()
-                .filter(|x| x.datagram == c.datagram)
-                .count() as u16;
+            let frags_in_dgram = chunks.iter().filter(|x| x.datagram == c.datagram).count() as u16;
             let frag_index = chunks[..]
                 .iter()
                 .take_while(|x| x.chunk != c.chunk)

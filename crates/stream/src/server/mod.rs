@@ -77,8 +77,7 @@ impl Pacer {
 
     /// Current drain rate in bits per second.
     pub fn rate_bps(&self) -> f64 {
-        (self.queue_bytes as f64 * 8.0 / self.smoothing.as_secs_f64())
-            .max(self.min_rate_bps as f64)
+        (self.queue_bytes as f64 * 8.0 / self.smoothing.as_secs_f64()).max(self.min_rate_bps as f64)
     }
 
     /// Advance one tick of length `tick`, scaled by `boost` (≥1 for the
@@ -187,7 +186,10 @@ mod tests {
         }
         let sa = a.tick(SimDuration::from_millis(20), 1.0).len();
         let sb = b.tick(SimDuration::from_millis(20), 2.0).len();
-        assert!(sb >= 2 * sa, "boost 2 should ~double the drain: {sa} vs {sb}");
+        assert!(
+            sb >= 2 * sa,
+            "boost 2 should ~double the drain: {sa} vs {sb}"
+        );
     }
 
     #[test]

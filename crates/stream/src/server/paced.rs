@@ -138,7 +138,11 @@ impl PacedServer {
         }
     }
 
-    fn send_chunks(&mut self, ctx: &mut AppCtx<StreamPayload>, chunks: Vec<crate::packetize::ChunkSpec>) {
+    fn send_chunks(
+        &mut self,
+        ctx: &mut AppCtx<StreamPayload>,
+        chunks: Vec<crate::packetize::ChunkSpec>,
+    ) {
         for c in chunks {
             let fidelity = self.frames[c.frame_index as usize].fidelity;
             let seq = self.seq;

@@ -236,7 +236,10 @@ mod tests {
         // rely on client unit tests for report mechanics.
         let media = sim.net.stats.flow(FlowId(1));
         let total: u64 = frame_bytes.iter().map(|&b| b as u64).sum();
-        assert!(media.rx_bytes - media.rx_packets * 28 >= total, "all media bytes delivered");
+        assert!(
+            media.rx_bytes - media.rx_packets * 28 >= total,
+            "all media bytes delivered"
+        );
         assert_eq!(media.total_drops(), 0);
         let acks = sim.net.stats.flow(FlowId(2));
         assert!(acks.tx_packets > 1000, "client ACK-clocked the transfer");

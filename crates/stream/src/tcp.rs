@@ -272,9 +272,8 @@ impl TcpSender {
                     srtt - sample
                 };
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
-                let new_srtt = SimDuration::from_nanos(
-                    (srtt.as_nanos() * 7 + sample.as_nanos()) / 8,
-                );
+                let new_srtt =
+                    SimDuration::from_nanos((srtt.as_nanos() * 7 + sample.as_nanos()) / 8);
                 self.srtt = Some(new_srtt);
             }
         }
@@ -344,7 +343,11 @@ mod tests {
         assert!(a.arm_rto.is_some());
         // ACK both: cwnd grows by MSS per ACK; window opens.
         let a2 = s.on_ack(t(50), (2 * MSS) as u64);
-        assert!(a2.segments.len() >= 3, "window should grow: {}", a2.segments.len());
+        assert!(
+            a2.segments.len() >= 3,
+            "window should grow: {}",
+            a2.segments.len()
+        );
     }
 
     #[test]

@@ -143,7 +143,9 @@ mod tests {
     fn uncorrelated_noise_fails() {
         let r = wave(400, 0);
         // A different-frequency profile that never correlates ≥ 0.35.
-        let rec: Vec<f64> = (0..100).map(|i| ((i * i) as f64 * 0.7).sin() * 10.0).collect();
+        let rec: Vec<f64> = (0..100)
+            .map(|i| ((i * i) as f64 * 0.7).sin() * 10.0)
+            .collect();
         match align(&rec, &r, 100, 50, 0.35) {
             Calibration::Failed => {}
             Calibration::Aligned { correlation, .. } => {
@@ -174,6 +176,6 @@ mod tests {
         assert!((correlation(&a, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
         assert!((correlation(&a, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
         assert_eq!(correlation(&a, &[5.0, 5.0, 5.0]), None);
-        assert_eq!(correlation::<>(&[], &[]), None);
+        assert_eq!(correlation(&[], &[]), None);
     }
 }

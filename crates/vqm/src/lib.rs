@@ -108,7 +108,11 @@ impl Vqm {
     /// Both streams are indexed by presentation slot; they must have equal
     /// length (the renderer model always produces one displayed frame per
     /// slot).
-    pub fn score_streams(&self, reference: &[FeatureFrame], received: &[FeatureFrame]) -> VqmResult {
+    pub fn score_streams(
+        &self,
+        reference: &[FeatureFrame],
+        received: &[FeatureFrame],
+    ) -> VqmResult {
         assert_eq!(
             reference.len(),
             received.len(),

@@ -95,7 +95,9 @@ mod tests {
 
     #[test]
     fn identical_windows_have_zero_params() {
-        let w: Vec<FeatureFrame> = (0..50).map(|i| frame(100.0, 5.0 + (i % 3) as f64)).collect();
+        let w: Vec<FeatureFrame> = (0..50)
+            .map(|i| frame(100.0, 5.0 + (i % 3) as f64))
+            .collect();
         let p = extract(&w, &w);
         assert_eq!(p.si_loss, 0.0);
         assert_eq!(p.ti_loss, 0.0);

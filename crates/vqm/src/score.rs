@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn zero_params_zero_score() {
-        assert_eq!(composite(&QualityParams::default(), &Weights::default()), 0.0);
+        assert_eq!(
+            composite(&QualityParams::default(), &Weights::default()),
+            0.0
+        );
     }
 
     #[test]

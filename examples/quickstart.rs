@@ -24,7 +24,10 @@ fn main() {
     let out = run_qbone(&cfg);
 
     println!();
-    println!("VQM quality score : {:.3}   (0 = perfect, 1 = worst)", out.quality);
+    println!(
+        "VQM quality score : {:.3}   (0 = perfect, 1 = worst)",
+        out.quality
+    );
     println!("frame loss        : {:.2} %", 100.0 * out.frame_loss);
     println!("packet loss       : {:.2} %", 100.0 * out.packet_loss);
     println!("policer drops     : {}", out.policer_drops);

@@ -203,9 +203,7 @@ fn decodable_is_subset_of_received() {
     let clip = mpeg1::encode(&ClipId::Lost.model(), 1_000_000);
     let mut rng = SimRng::seed_from_u64(42);
     for _ in 0..20 {
-        let received: Vec<bool> = (0..clip.frames.len())
-            .map(|_| rng.chance(0.9))
-            .collect();
+        let received: Vec<bool> = (0..clip.frames.len()).map(|_| rng.chance(0.9)).collect();
         let ok = decodable_frames(&clip.frames, &received);
         for (i, (&r, &d)) in received.iter().zip(&ok).enumerate() {
             assert!(!d || r, "frame {i} decodable but not received");

@@ -4,7 +4,11 @@
 use dsv_core::prelude::*;
 
 fn udp(rate: u64, depth: u32) -> LocalConfig {
-    LocalConfig::new(ClipId2::Lost, EfProfile::new(rate, depth), LocalTransport::Udp)
+    LocalConfig::new(
+        ClipId2::Lost,
+        EfProfile::new(rate, depth),
+        LocalTransport::Udp,
+    )
 }
 
 #[test]
@@ -98,7 +102,11 @@ fn shaped_tcp_beats_unshaped_udp() {
     // TCP is reliable: every frame is eventually delivered.
     let (_, tcp_report) = run_local_detailed(&t);
     let received = tcp_report.received.iter().filter(|&&x| x).count();
-    assert_eq!(received, tcp_report.received.len(), "TCP delivers all frames");
+    assert_eq!(
+        received,
+        tcp_report.received.len(),
+        "TCP delivers all frames"
+    );
     assert!(
         tcp_out.quality + 0.15 < udp_out.quality,
         "tcp {:.3} should beat bursty udp {:.3}",

@@ -94,7 +94,11 @@ fn clips_share_the_shape() {
         ("dark", &dark_low, &dark_high),
     ] {
         assert!(low.quality > 0.8, "{name} low-rate quality {}", low.quality);
-        assert!(high.quality < 0.1, "{name} high-rate quality {}", high.quality);
+        assert!(
+            high.quality < 0.1,
+            "{name} high-rate quality {}",
+            high.quality
+        );
     }
     // Absolute levels may differ between clips (the paper's 0.19 vs 0.14
     // example), but both must traverse the same regimes.

@@ -60,6 +60,59 @@ fn seeds_change_cross_traffic_but_not_the_regime() {
 }
 
 #[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    // The runner fans grid points across threads; because every outcome
+    // is a pure function of its config, the serialized SweepResult must
+    // be byte-for-byte what a serial run produces.
+    let base = QboneConfig::new(
+        ClipId2::Lost,
+        1_000_000,
+        EfProfile::new(1_000_000, DEPTH_2MTU),
+    );
+    let rates = [900_000u64, 1_400_000];
+    let depths = [DEPTH_2MTU, DEPTH_3MTU];
+    let serial = Runner::serial().qbone_sweep(&base, &rates, &depths, "2x2 determinism grid");
+    let parallel = Runner::serial().with_threads(8).qbone_sweep(
+        &base,
+        &rates,
+        &depths,
+        "2x2 determinism grid",
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&parallel).unwrap(),
+        "parallel sweep diverged from serial"
+    );
+}
+
+#[test]
+fn cached_sweep_replays_the_computed_result() {
+    let dir = std::env::temp_dir().join(format!("dsv-determinism-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = QboneConfig::new(
+        ClipId2::Lost,
+        1_000_000,
+        EfProfile::new(1_000_000, DEPTH_2MTU),
+    );
+    let rates = [900_000u64, 1_400_000];
+    let depths = [DEPTH_2MTU, DEPTH_3MTU];
+    let runner = Runner::serial().with_cache(Some(dir.clone()));
+    let cold = runner.qbone_sweep(&base, &rates, &depths, "cache grid");
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        4,
+        "each grid point persists one cache entry"
+    );
+    let warm = runner.qbone_sweep(&base, &rates, &depths, "cache grid");
+    assert_eq!(
+        serde_json::to_string_pretty(&cold).unwrap(),
+        serde_json::to_string_pretty(&warm).unwrap(),
+        "cache replay diverged from computation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tcp_runs_are_bit_identical() {
     let mut cfg = LocalConfig::new(
         ClipId2::Lost,

@@ -17,12 +17,7 @@ fn measured_stream(n: u32, displayed: &[u32]) -> Vec<FeatureFrame> {
     // Render each distinct source frame once.
     let mut cache: std::collections::HashMap<u32, dsv_media::yuv::YuvFrame> =
         std::collections::HashMap::new();
-    let mut get = |idx: u32| {
-        cache
-            .entry(idx)
-            .or_insert_with(|| r.render(idx))
-            .clone()
-    };
+    let mut get = |idx: u32| cache.entry(idx).or_insert_with(|| r.render(idx)).clone();
     let mut out = Vec::with_capacity(n as usize);
     let mut prev: Option<dsv_media::yuv::YuvFrame> = None;
     for &idx in displayed.iter().take(n as usize) {
@@ -62,7 +57,9 @@ fn pixel_vqm_orders_light_vs_heavy_impairment() {
     let reference = measured_stream(n, &identity);
 
     // Light: repeat every 40th frame. Heavy: freeze in runs of 8.
-    let light: Vec<u32> = (0..n).map(|i| if i % 40 == 1 { i - 1 } else { i }).collect();
+    let light: Vec<u32> = (0..n)
+        .map(|i| if i % 40 == 1 { i - 1 } else { i })
+        .collect();
     let heavy: Vec<u32> = (0..n).map(|i| (i / 8) * 8).collect();
     let light_stream = measured_stream(n, &light);
     let heavy_stream = measured_stream(n, &heavy);
@@ -82,7 +79,9 @@ fn pixel_and_analytic_paths_agree_on_the_verdict() {
     let n = 240u32;
     let model = ClipId::Lost.model();
     let identity: Vec<u32> = (0..n).collect();
-    let schedule: Vec<u32> = (0..n).map(|i| if i % 20 == 1 { i - 1 } else { i }).collect();
+    let schedule: Vec<u32> = (0..n)
+        .map(|i| if i % 20 == 1 { i - 1 } else { i })
+        .collect();
 
     // Pixel path.
     let ref_px = measured_stream(n, &identity);

@@ -1,0 +1,233 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (`struct Foo { a: u64, b: Vec<X> }`)
+//! * fieldless enums (`enum Clip { Lost, Dark }`)
+//!
+//! Anything else (tuple structs, data-carrying enums, generics) panics
+//! with a clear message at expansion time rather than producing wrong
+//! code. The parser walks the raw token stream — `syn`/`quote` are not
+//! available offline — which is tractable because the accepted grammar
+//! is so small.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute: `#` + `[...]`
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if kind.is_none() && (s == "struct" || s == "enum") {
+                    kind = Some(s);
+                } else if kind.is_some() && name.is_none() {
+                    name = Some(s);
+                }
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde stand-in derive: generic types are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                let name = name.unwrap();
+                return match kind.as_deref() {
+                    Some("struct") => Shape::Struct {
+                        name,
+                        fields: parse_named_fields(g.stream()),
+                    },
+                    Some("enum") => Shape::Enum {
+                        name,
+                        variants: parse_unit_variants(g.stream()),
+                    },
+                    _ => unreachable!(),
+                };
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && kind.is_some() && name.is_some() =>
+            {
+                panic!("serde stand-in derive: tuple structs are not supported")
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde stand-in derive: expected a struct or enum body")
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes and doc comments on the field.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == '#' {
+                    i += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        // Skip visibility.
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            panic!(
+                "serde stand-in derive: expected field name, got {:?}",
+                toks[i]
+            )
+        };
+        fields.push(id.to_string());
+        i += 1; // past the name
+        i += 1; // past the `:`
+                // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                if let Some(TokenTree::Group(_)) = toks.get(i) {
+                    panic!(
+                        "serde stand-in derive: only fieldless enum variants are supported \
+                         (variant `{}` carries data)",
+                        variants.last().unwrap()
+                    );
+                }
+            }
+            other => panic!("serde stand-in derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derive `serde::Serialize` (stand-in data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde stand-in derive: generated code must parse")
+}
+
+/// Derive `serde::Deserialize` (stand-in data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__v, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<{name}, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<{name}, ::serde::Error> {{\n\
+                         match ::serde::de_variant_str(__v)? {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde stand-in derive: generated code must parse")
+}
