@@ -16,4 +16,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> runner_bench smoke (tiny grid, temp output)"
+DSV_BENCH_SMOKE=1 DSV_CACHE=off ./target/release/runner_bench
+
 echo "==> ci: all green"

@@ -1,64 +1,174 @@
-//! Timing evidence for the sweep runner: a 2-depth × 8-rate QBone grid
-//! run three ways — serial/uncached (baseline), threaded/cold-cache, and
-//! threaded/warm-cache — with byte-identity checks between all of them.
+//! Macro-bench for the sweep pipeline: one QBone grid run four ways —
+//! serial with artifact sharing disabled (the pre-sharing behaviour),
+//! serial shared, threaded with a cold result cache, and threaded warm —
+//! with byte-identity asserts between all of them, per-stage wall times
+//! and event-dispatch rates from [`dsv_core::profile`], and the whole
+//! report persisted to `results/BENCH_sweep.json` so perf regressions
+//! show up in review diffs.
+//!
+//! `DSV_BENCH_SMOKE=1` shrinks the grid and writes the report to a temp
+//! file instead of `results/` (CI smoke mode: exercises the harness
+//! without dirtying the committed baseline).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use serde::Serialize;
+
 use dsv_core::prelude::*;
+use dsv_core::{artifacts, profile};
+
+/// Numbers measured at the seed commit (before artifact sharing and the
+/// conditioner-poll fix), kept in the report so the committed baseline
+/// always shows the distance travelled. Measured single-thread, uncached,
+/// on the reference container.
+#[derive(Serialize)]
+struct SeedBaseline {
+    all_figures_cold_secs: f64,
+    grid_points: usize,
+    serial_uncached_secs: f64,
+    serial_uncached_pts_per_sec: f64,
+    warm_cache_fraction_of_cold: f64,
+}
+
+const SEED_BASELINE: SeedBaseline = SeedBaseline {
+    all_figures_cold_secs: 27.29,
+    grid_points: 16,
+    serial_uncached_secs: 0.29,
+    serial_uncached_pts_per_sec: 54.89,
+    warm_cache_fraction_of_cold: 0.003,
+};
+
+#[derive(Serialize)]
+struct RunReport {
+    secs: f64,
+    pts_per_sec: f64,
+    stages: ProfileSnapshot,
+    event_rate_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    seed_baseline: SeedBaseline,
+    grid_points: usize,
+    threads: usize,
+    serial_unshared: RunReport,
+    serial_shared: RunReport,
+    threaded_cold_cache: RunReport,
+    threaded_warm_cache: RunReport,
+    sharing_speedup: f64,
+    threaded_speedup_vs_serial: f64,
+    warm_cache_fraction_of_cold: f64,
+    byte_identical: bool,
+}
 
 fn main() {
+    let smoke = std::env::var("DSV_BENCH_SMOKE").is_ok_and(|v| !v.trim().is_empty() && v != "0");
     let enc = 1_500_000u64;
     let base = QboneConfig::new(ClipId2::Lost, enc, EfProfile::new(enc, DEPTH_2MTU));
-    let rates = default_rate_grid(enc, 8);
-    let depths = [DEPTH_2MTU, DEPTH_3MTU];
+    let (rates, depths): (Vec<u64>, Vec<u32>) = if smoke {
+        (default_rate_grid(enc, 2), vec![DEPTH_2MTU])
+    } else {
+        (default_rate_grid(enc, 8), vec![DEPTH_2MTU, DEPTH_3MTU])
+    };
     let points = rates.len() * depths.len();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("runner bench: {points}-point QBone grid, {threads} core(s) available\n");
+    println!(
+        "runner bench: {points}-point QBone grid, {threads} core(s){}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
 
     let cache: PathBuf =
         std::env::temp_dir().join(format!("dsv-runner-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache);
 
     let label = "runner bench grid";
-    let time = |tag: &str, runner: &Runner| {
+    let time = |tag: &str, runner: &Runner| -> (RunReport, String) {
+        let before = profile::snapshot();
         let t0 = Instant::now();
         let sweep = runner.qbone_sweep(&base, &rates, &depths, label);
         let dt = t0.elapsed().as_secs_f64();
+        let stages = profile::snapshot().since(&before);
         println!(
-            "{tag:<24} {dt:7.2} s  ({:.2} pts/s)",
-            points as f64 / dt.max(1e-9)
+            "{tag:<24} {dt:7.2} s  ({:.2} pts/s, {:.2} M ev/s)",
+            points as f64 / dt.max(1e-9),
+            stages.event_rate_per_sec() / 1e6,
         );
-        (dt, serde_json::to_string(&sweep).expect("serialize"))
+        let report = RunReport {
+            secs: dt,
+            pts_per_sec: points as f64 / dt.max(1e-9),
+            event_rate_per_sec: stages.event_rate_per_sec(),
+            stages,
+        };
+        (report, serde_json::to_string(&sweep).expect("serialize"))
     };
 
-    let (t_serial, json_serial) = time("serial, uncached", &Runner::serial());
-    let (t_cold, json_cold) = time(
+    // The pre-sharing pipeline: every point rebuilds its own artifacts.
+    let (unshared, json_unshared) = {
+        let _guard = artifacts::force_sharing(false);
+        time("serial, sharing off", &Runner::serial())
+    };
+    // Cold artifact store, shared from the first point on.
+    artifacts::clear();
+    let (shared, json_shared) = time("serial, shared", &Runner::serial());
+    let (cold, json_cold) = time(
         "threaded, cold cache",
         &Runner::serial()
             .with_threads(threads)
             .with_cache(Some(cache.clone())),
     );
-    let (t_warm, json_warm) = time(
+    let (warm, json_warm) = time(
         "threaded, warm cache",
         &Runner::serial()
             .with_threads(threads)
             .with_cache(Some(cache.clone())),
     );
 
-    assert_eq!(json_serial, json_cold, "parallel must match serial");
-    assert_eq!(json_serial, json_warm, "cached must match computed");
-    println!("\nall three runs byte-identical ✓");
+    assert_eq!(json_unshared, json_shared, "sharing must not change output");
+    assert_eq!(json_shared, json_cold, "parallel must match serial");
+    assert_eq!(json_shared, json_warm, "cached must match computed");
+    println!("\nall four runs byte-identical ✓");
+    println!(
+        "artifact sharing speedup:   {:.2}× (serial)",
+        unshared.secs / shared.secs
+    );
     println!(
         "parallel speedup vs serial: {:.2}× ({threads} worker(s))",
-        t_serial / t_cold
+        shared.secs / cold.secs
     );
     println!(
         "warm cache vs cold:         {:.1}% of cold time",
-        100.0 * t_warm / t_cold
+        100.0 * warm.secs / cold.secs
     );
+
+    let report = BenchReport {
+        seed_baseline: SEED_BASELINE,
+        grid_points: points,
+        threads,
+        sharing_speedup: unshared.secs / shared.secs,
+        threaded_speedup_vs_serial: shared.secs / cold.secs,
+        warm_cache_fraction_of_cold: warm.secs / cold.secs,
+        byte_identical: true,
+        serial_unshared: unshared,
+        serial_shared: shared,
+        threaded_cold_cache: cold,
+        threaded_warm_cache: warm,
+    };
+    if smoke {
+        let path =
+            std::env::temp_dir().join(format!("BENCH_sweep-smoke-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write smoke report");
+        println!("[smoke report written {}]", path.display());
+        let _ = std::fs::remove_file(&path);
+    } else {
+        dsv_bench::emit_json("BENCH_sweep", &report);
+    }
 
     let _ = std::fs::remove_dir_all(&cache);
 }

@@ -28,7 +28,11 @@ use dsv_stream::playback::PlaybackConfig;
 use dsv_stream::server::paced::{PacedConfig, PacedServer};
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{run_horizon, score_run, RunOutcome};
+use std::time::Instant;
+
+use crate::artifacts::{self, Codec};
+use crate::experiment::{run_horizon, score_run_shared, RunOutcome};
+use crate::profile;
 use crate::qbone::ClipId2;
 
 /// Flow id of the media stream.
@@ -85,8 +89,9 @@ impl AfConfig {
 /// Run one AF streaming session and score it.
 pub fn run_af(cfg: &AfConfig) -> RunOutcome {
     let clip_id: ClipId = cfg.clip.into();
-    let model = clip_id.model();
-    let clip = mpeg1::encode(&model, cfg.encoding_bps);
+    let t_artifacts = Instant::now();
+    let clip = artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
+    profile::add_encode(t_artifacts.elapsed());
     let mut rng = SimRng::seed_from_u64(cfg.seed);
 
     let mut b = NetworkBuilder::<StreamPayload>::new();
@@ -172,11 +177,19 @@ pub fn run_af(cfg: &AfConfig) -> RunOutcome {
     }
 
     let mut sim = Simulation::new(b.build());
-    sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+    let t_sim = Instant::now();
+    let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+    profile::add_simulate(t_sim.elapsed(), stats.dispatched);
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);
-    let (same, _) = score_run(&model, &clip, &report, None);
+    let t_features = Instant::now();
+    let source = artifacts::source_features(clip_id);
+    let reference = artifacts::reference_features(clip_id, Codec::Mpeg1, cfg.encoding_bps);
+    profile::add_encode(t_features.elapsed());
+    let t_score = Instant::now();
+    let (same, _) = score_run_shared(&source, &reference, &report, None);
+    profile::add_score(t_score.elapsed());
     RunOutcome::assemble(&report, &media, &same, None, 0, 0, false)
 }
 

@@ -115,8 +115,13 @@ pub fn encoded_features(model: &SceneModel, clip: &EncodedClip) -> Vec<FeatureFr
 /// what the emulated renderer put on screen, with each displayed frame
 /// carrying the fidelity it was actually received at.
 pub fn received_features(model: &SceneModel, report: &ClientReport) -> Vec<FeatureFrame> {
-    let src = model.source_features();
-    let per_frame: Vec<FeatureFrame> = src
+    received_features_from(&model.source_features(), report)
+}
+
+/// [`received_features`] over precomputed source features, so sweep runs
+/// can borrow the shared per-clip artifact instead of regenerating it.
+pub fn received_features_from(source: &[FeatureFrame], report: &ClientReport) -> Vec<FeatureFrame> {
+    let per_frame: Vec<FeatureFrame> = source
         .iter()
         .enumerate()
         .map(|(i, s)| encode_features(*s, report.fidelity.get(i).copied().unwrap_or(1.0)))
@@ -132,10 +137,23 @@ pub fn score_run(
     report: &ClientReport,
     best_reference: Option<&[FeatureFrame]>,
 ) -> (VqmResult, Option<VqmResult>) {
-    let vqm = Vqm::default();
     let reference = encoded_features(model, clip);
-    let received = received_features(model, report);
-    let same = vqm.score_streams(&reference, &received);
+    score_run_shared(&model.source_features(), &reference, report, best_reference)
+}
+
+/// [`score_run`] over precomputed artifacts: the clip's source features
+/// and the encoding's reference stream both come from the caller (in
+/// sweeps, from [`crate::artifacts`]), so scoring allocates only the
+/// received stream.
+pub fn score_run_shared(
+    source: &[FeatureFrame],
+    reference: &[FeatureFrame],
+    report: &ClientReport,
+    best_reference: Option<&[FeatureFrame]>,
+) -> (VqmResult, Option<VqmResult>) {
+    let vqm = Vqm::default();
+    let received = received_features_from(source, report);
+    let same = vqm.score_streams(reference, &received);
     let vs_best = best_reference.map(|best| vqm.score_streams(best, &received));
     (same, vs_best)
 }

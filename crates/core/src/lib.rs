@@ -24,8 +24,10 @@
 
 pub mod af;
 pub mod analysis;
+pub mod artifacts;
 pub mod experiment;
 pub mod local;
+pub mod profile;
 pub mod qbone;
 pub mod report;
 pub mod runner;
@@ -39,10 +41,11 @@ pub mod prelude {
         quality_area,
     };
     pub use crate::experiment::{
-        encoded_features, received_features, run_horizon, score_run, EfProfile, RunOutcome,
-        DEPTH_2MTU, DEPTH_3MTU,
+        encoded_features, received_features, received_features_from, run_horizon, score_run,
+        score_run_shared, EfProfile, RunOutcome, DEPTH_2MTU, DEPTH_3MTU,
     };
     pub use crate::local::{run_local, run_local_detailed, LocalConfig, LocalTransport};
+    pub use crate::profile::ProfileSnapshot;
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};
     pub use crate::report::{format_sweep, format_table, table4_summary};
     pub use crate::runner::{Job, Runner};

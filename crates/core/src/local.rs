@@ -30,7 +30,11 @@ use dsv_stream::server::adaptive::{AdaptiveConfig, AdaptiveServer};
 use dsv_stream::server::tcp_server::{TcpServerConfig, TcpStreamServer};
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{run_horizon, score_run, EfProfile, RunOutcome};
+use std::time::Instant;
+
+use crate::artifacts::{self, Codec};
+use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
+use crate::profile;
 use crate::qbone::ClipId2;
 
 /// Flow id of the media stream.
@@ -98,8 +102,9 @@ pub fn run_local(cfg: &LocalConfig) -> RunOutcome {
 /// times, decodability, playback schedule) for deeper analysis.
 pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client::ClientReport) {
     let clip_id: ClipId = cfg.clip.into();
-    let model = clip_id.model();
-    let clip = wmv::encode(&model, cfg.cap_bps);
+    let t_artifacts = Instant::now();
+    let clip = artifacts::encoding(clip_id, Codec::Wmv, cfg.cap_bps);
+    profile::add_encode(t_artifacts.elapsed());
     let mut rng = SimRng::seed_from_u64(cfg.seed);
 
     let mut b = NetworkBuilder::<StreamPayload>::new();
@@ -138,9 +143,12 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
     let server = match cfg.transport {
         LocalTransport::Udp => {
             let tiers = if cfg.multi_rate {
-                vec![wmv::encode(&model, 300_000), clip.clone()]
+                let t_tier = Instant::now();
+                let low = artifacts::encoding(clip_id, Codec::Wmv, 300_000);
+                profile::add_encode(t_tier.elapsed());
+                vec![(*low).clone(), (*clip).clone()]
             } else {
-                vec![clip.clone()]
+                vec![(*clip).clone()]
             };
             let (h, app) = Shared::new(AdaptiveServer::new(
                 AdaptiveConfig::new(client, MEDIA_FLOW, Dscp::BEST_EFFORT),
@@ -233,7 +241,9 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
     }
 
     let mut sim = Simulation::new(b.build());
-    sim.run_until(SimTime::ZERO + run_horizon(clip_id) + SimDuration::from_secs(30));
+    let t_sim = Instant::now();
+    let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id) + SimDuration::from_secs(30));
+    profile::add_simulate(t_sim.elapsed(), stats.dispatched);
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);
@@ -244,7 +254,13 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
             (s.collapses, s.broken)
         })
         .unwrap_or((0, false));
-    let (same, _) = score_run(&model, &clip, &report, None);
+    let t_features = Instant::now();
+    let source = artifacts::source_features(clip_id);
+    let reference = artifacts::reference_features(clip_id, Codec::Wmv, cfg.cap_bps);
+    profile::add_encode(t_features.elapsed());
+    let t_score = Instant::now();
+    let (same, _) = score_run_shared(&source, &reference, &report, None);
+    profile::add_score(t_score.elapsed());
     let outcome = RunOutcome::assemble(
         &report,
         &media,

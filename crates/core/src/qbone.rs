@@ -10,10 +10,12 @@
 //! the paper's observation that interfering traffic caused "only minor
 //! variations".
 
+use std::time::Instant;
+
 use dsv_diffserv::classifier::MatchRule;
 use dsv_diffserv::policer::Policer;
 use dsv_diffserv::policy::{PolicyAction, PolicyTable};
-use dsv_media::encoder::mpeg1;
+use dsv_media::encoder::{mpeg1, EncodedClip};
 use dsv_media::scene::ClipId;
 use dsv_net::app::Shared;
 use dsv_net::link::Link;
@@ -28,7 +30,9 @@ use dsv_stream::playback::PlaybackConfig;
 use dsv_stream::server::paced::{PacedConfig, PacedServer};
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::{encoded_features, run_horizon, score_run, EfProfile, RunOutcome};
+use crate::artifacts::{self, Codec};
+use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
+use crate::profile;
 
 /// Flow id of the media stream.
 pub const MEDIA_FLOW: FlowId = FlowId(1);
@@ -113,8 +117,9 @@ pub fn run_qbone(cfg: &QboneConfig) -> RunOutcome {
 /// Like [`run_qbone`], but also return the client's full report.
 pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client::ClientReport) {
     let clip_id: ClipId = cfg.clip.into();
-    let model = clip_id.model();
-    let clip = mpeg1::encode(&model, cfg.encoding_bps);
+    let t_artifacts = Instant::now();
+    let clip = artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
+    profile::add_encode(t_artifacts.elapsed());
     let mut rng = SimRng::seed_from_u64(cfg.seed);
 
     let mut b = NetworkBuilder::<StreamPayload>::new();
@@ -149,17 +154,20 @@ pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client:
             &clip,
         )),
         QboneServer::MultiRatePaced => {
-            let tiers = vec![
-                mpeg1::encode(&model, 1_000_000),
-                mpeg1::encode(&model, 1_500_000),
-                mpeg1::encode(&model, 1_700_000),
+            let t_tiers = Instant::now();
+            let tiers = [
+                artifacts::encoding(clip_id, Codec::Mpeg1, 1_000_000),
+                artifacts::encoding(clip_id, Codec::Mpeg1, 1_500_000),
+                artifacts::encoding(clip_id, Codec::Mpeg1, 1_700_000),
             ];
+            profile::add_encode(t_tiers.elapsed());
+            let tier_refs: Vec<&EncodedClip> = tiers.iter().map(|t| t.as_ref()).collect();
             // The server sizes its encoding to the purchased profile,
             // leaving ~12 % headroom for packet overhead and burstiness.
             let estimate = (cfg.profile.token_rate_bps as f64 * 0.88) as u64;
-            Box::new(PacedServer::new_multi_rate(
+            Box::new(PacedServer::new_multi_rate_shared(
                 PacedConfig::new(client, MEDIA_FLOW, Dscp::EF_QBONE),
-                &tiers,
+                &tier_refs,
                 estimate,
             ))
         }
@@ -234,16 +242,39 @@ pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client:
     }
 
     let mut sim = Simulation::new(b.build());
-    sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+    let t_sim = Instant::now();
+    let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+    profile::add_simulate(t_sim.elapsed(), stats.dispatched);
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);
+    let t_features = Instant::now();
+    let source = artifacts::source_features(clip_id);
+    let reference = artifacts::reference_features(clip_id, Codec::Mpeg1, cfg.encoding_bps);
     let best_features = if cfg.score_vs_best {
-        Some(encoded_features(&model, &mpeg1::encode(&model, 1_700_000)))
+        if cfg.encoding_bps == 1_700_000 {
+            // The clip *is* the best encoding: its own reference stream
+            // doubles as the cross reference — no second encode.
+            Some(reference.clone())
+        } else {
+            Some(artifacts::reference_features(
+                clip_id,
+                Codec::Mpeg1,
+                1_700_000,
+            ))
+        }
     } else {
         None
     };
-    let (same, vs_best) = score_run(&model, &clip, &report, best_features.as_deref());
+    profile::add_encode(t_features.elapsed());
+    let t_score = Instant::now();
+    let (same, vs_best) = score_run_shared(
+        &source,
+        &reference,
+        &report,
+        best_features.as_ref().map(|a| a.as_slice()),
+    );
+    profile::add_score(t_score.elapsed());
     let outcome = RunOutcome::assemble(&report, &media, &same, vs_best.as_ref(), 0, 0, false);
     (outcome, report)
 }

@@ -44,6 +44,7 @@ use serde::{Deserialize, Serialize};
 use crate::af::{run_af, AfConfig};
 use crate::experiment::{EfProfile, RunOutcome};
 use crate::local::{run_local, LocalConfig};
+use crate::profile;
 use crate::qbone::{run_qbone, QboneConfig};
 use crate::sweep::{SweepPoint, SweepResult};
 
@@ -152,13 +153,15 @@ impl Progress {
     }
 
     fn print(&self, done: usize, final_line: bool) {
-        let secs = self.start.elapsed().as_secs_f64().max(1e-9);
-        let rate = done as f64 / secs;
-        let eta = (self.total.saturating_sub(done)) as f64 / rate.max(1e-9);
+        let (rate, eta) = throughput_eta(done, self.total, self.start.elapsed().as_secs_f64());
+        let eta = match eta {
+            Some(secs) => format!("{secs:.0}s"),
+            None => "?".to_string(),
+        };
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r[runner] {done}/{} points ({} cached) | {rate:.2} pts/s | ETA {eta:.0}s | \
+            "\r[runner] {done}/{} points ({} cached) | {rate:.2} pts/s | ETA {eta} | \
              drops: policer {}, queue {}, shaper {}",
             self.total,
             self.cached.load(Ordering::Relaxed),
@@ -177,6 +180,22 @@ impl Progress {
             self.print(self.done.load(Ordering::Relaxed), true);
         }
     }
+}
+
+/// Throughput and remaining-time estimate for a progress line.
+///
+/// Returns `(points_per_sec, Some(eta_secs))`; the ETA is `None` until
+/// the first point lands (with `done == 0` there is no rate to
+/// extrapolate from, and `total / ε` would print astronomical nonsense).
+/// An instantly-served grid (all cache hits, elapsed ≈ 0) yields a huge
+/// but finite rate and a zero ETA, never a division by zero or `NaN`.
+fn throughput_eta(done: usize, total: usize, elapsed_secs: f64) -> (f64, Option<f64>) {
+    if done == 0 {
+        return (0.0, None);
+    }
+    let rate = done as f64 / elapsed_secs.max(1e-9);
+    let eta = total.saturating_sub(done) as f64 / rate;
+    (rate, Some(eta))
 }
 
 /// The grid-execution engine: fans [`Job`]s over threads, with an
@@ -270,6 +289,7 @@ impl Runner {
         let slots: Vec<OnceLock<(RunOutcome, bool)>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let progress = Progress::new(n, self.progress);
+        let stages_before = profile::snapshot();
         let workers = self.threads.clamp(1, n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -285,6 +305,7 @@ impl Runner {
             }
         });
         progress.finish();
+        profile::report(&format!("batch of {n}"), &stages_before);
         slots
             .into_iter()
             .map(|s| s.into_inner().expect("worker filled every slot").0)
@@ -503,6 +524,35 @@ mod tests {
         let (_, hit2) = runner.run_one(&job);
         assert!(hit2, "repaired entry hits");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_eta_is_sane_on_edge_cases() {
+        // Before any point lands there is no rate to extrapolate from:
+        // no ETA rather than `total / ε` nonsense.
+        let (rate, eta) = throughput_eta(0, 100, 0.0);
+        assert_eq!(rate, 0.0);
+        assert_eq!(eta, None);
+        // An instantly-cached grid (elapsed ≈ 0) must stay finite.
+        let (rate, eta) = throughput_eta(100, 100, 0.0);
+        assert!(rate.is_finite() && rate > 0.0);
+        assert_eq!(eta, Some(0.0));
+        // Normal mid-flight estimate: 10 done in 5 s, 30 to go → 15 s.
+        let (rate, eta) = throughput_eta(10, 40, 5.0);
+        assert!((rate - 2.0).abs() < 1e-12);
+        assert!((eta.unwrap() - 15.0).abs() < 1e-12);
+        // done > total (caller bug or re-counted cache hits) saturates
+        // to zero remaining rather than going negative.
+        let (_, eta) = throughput_eta(5, 3, 1.0);
+        assert_eq!(eta, Some(0.0));
+    }
+
+    #[test]
+    fn empty_grid_produces_no_output_and_no_panic() {
+        // An empty job list returns early: no progress line, no division
+        // by the zero elapsed time, just an empty result.
+        let out = Runner::serial().with_progress(true).run(&[]);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! computed once at build time by breadth-first search, so any connected
 //! topology works without manual route entry.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dsv_sim::{EventQueue, SimDuration, SimTime, World};
 
@@ -40,8 +40,10 @@ pub enum NetEvent<P> {
     Arrive {
         /// Receiving node.
         node: NodeId,
-        /// The packet.
-        packet: Packet<P>,
+        /// The packet, boxed so the in-flight variant doesn't inflate
+        /// every queued event to packet size (heap entries are moved on
+        /// every sift; keeping them small is a measured win).
+        packet: Box<Packet<P>>,
     },
     /// An output port finished serializing its current packet.
     PortReady {
@@ -70,8 +72,10 @@ struct Node<P> {
     kind: NodeKind,
     name: String,
     ports: Vec<Port<P>>,
-    /// Next-hop port toward each destination host.
-    routes: HashMap<NodeId, PortId>,
+    /// Next-hop port toward each destination, indexed by destination
+    /// node id (`None` for non-host destinations). A flat vector: route
+    /// lookup is per packet per hop, far too hot for hashing.
+    routes: Vec<Option<PortId>>,
 }
 
 /// Builds a [`Network`].
@@ -108,7 +112,7 @@ impl<P: 'static> NetworkBuilder<P> {
             kind: NodeKind::Host { start_at },
             name: name.to_string(),
             ports: Vec::new(),
-            routes: HashMap::new(),
+            routes: Vec::new(),
         });
         self.apps.push(Some(app));
         self.conditioners.push(None);
@@ -122,7 +126,7 @@ impl<P: 'static> NetworkBuilder<P> {
             kind: NodeKind::Router,
             name: name.to_string(),
             ports: Vec::new(),
-            routes: HashMap::new(),
+            routes: Vec::new(),
         });
         self.apps.push(None);
         self.conditioners.push(None);
@@ -215,6 +219,11 @@ impl<P: 'static> NetworkBuilder<P> {
             .map(|(i, _)| NodeId(i as u32))
             .collect();
 
+        let node_count = nodes.len();
+        for node in &mut nodes {
+            node.routes = vec![None; node_count];
+        }
+
         for &dst in &host_ids {
             let mut dist: Vec<Option<u32>> = vec![None; nodes.len()];
             dist[dst.0 as usize] = Some(0);
@@ -241,14 +250,16 @@ impl<P: 'static> NetworkBuilder<P> {
                     .iter()
                     .position(|p| dist[p.peer.0 as usize].is_some_and(|dp| dp + 1 == di))
                     .expect("BFS invariant: some neighbour is closer");
-                node.routes.insert(dst, PortId(port as u16));
+                node.routes[dst.0 as usize] = Some(PortId(port as u16));
             }
         }
 
+        let node_count = conditioners.len();
         Network {
             nodes,
             apps,
             conditioners,
+            cond_poll_at: vec![None; node_count],
             stats: NetStats::new(),
             next_packet_id: 0,
         }
@@ -266,6 +277,14 @@ pub struct Network<P> {
     nodes: Vec<Node<P>>,
     apps: Vec<Option<Box<dyn Application<P>>>>,
     conditioners: Vec<Option<Box<dyn Conditioner<P>>>>,
+    /// Earliest pending [`NetEvent::CondPoll`] per node, or `None` if no
+    /// poll is outstanding. A backlogged shaper asks to be polled once per
+    /// queued packet *and* once per poll that finds the head unready; without
+    /// deduplication those requests pile into thousands of parallel poll
+    /// chains that all fire at every release instant (a measured ~200×
+    /// event-count blowup on starved-profile shaped runs). Only the earliest
+    /// request needs a real event — later ones are satisfied by it.
+    cond_poll_at: Vec<Option<SimTime>>,
     /// Statistics collector (public so experiments can enable tracing before
     /// the run and read counters afterwards).
     pub stats: NetStats,
@@ -353,7 +372,12 @@ impl<P: 'static> Network<P> {
         queue: &mut EventQueue<NetEvent<P>>,
     ) {
         let idx = node.0 as usize;
-        match self.nodes[idx].routes.get(&pkt.dst).copied() {
+        match self.nodes[idx]
+            .routes
+            .get(pkt.dst.0 as usize)
+            .copied()
+            .flatten()
+        {
             Some(port) => self.enqueue_on_port(now, node, port, pkt, queue),
             None => {
                 self.stats
@@ -411,7 +435,7 @@ impl<P: 'static> Network<P> {
                 arrive,
                 NetEvent::Arrive {
                     node: peer,
-                    packet: pkt,
+                    packet: Box::new(pkt),
                 },
             );
         }
@@ -435,11 +459,30 @@ impl<P: 'static> Network<P> {
                         .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, reason);
                 }
                 ConditionOutcome::Absorbed { poll_at } => {
-                    queue.schedule(poll_at.max(now), NetEvent::CondPoll(node));
+                    self.schedule_cond_poll(node, poll_at.max(now), queue);
                 }
             }
         } else {
             self.forward(now, node, pkt, queue);
+        }
+    }
+
+    /// Request a conditioner poll at `at`, skipping the event if an earlier
+    /// (or equal) poll is already pending — that one will observe the same
+    /// queue head and reschedule as needed.
+    fn schedule_cond_poll(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        queue: &mut EventQueue<NetEvent<P>>,
+    ) {
+        let slot = &mut self.cond_poll_at[node.0 as usize];
+        match slot {
+            Some(pending) if *pending <= at => {}
+            _ => {
+                *slot = Some(at);
+                queue.schedule(at, NetEvent::CondPoll(node));
+            }
         }
     }
 
@@ -450,6 +493,11 @@ impl<P: 'static> Network<P> {
         queue: &mut EventQueue<NetEvent<P>>,
     ) {
         let idx = node.0 as usize;
+        // This firing satisfies the pending request (if it is the one we
+        // tracked); later requests re-arm via `schedule_cond_poll`.
+        if self.cond_poll_at[idx].is_some_and(|t| t <= now) {
+            self.cond_poll_at[idx] = None;
+        }
         if let Some(mut cond) = self.conditioners[idx].take() {
             let released = cond.release(now);
             self.conditioners[idx] = Some(cond);
@@ -457,7 +505,7 @@ impl<P: 'static> Network<P> {
                 self.forward(now, node, pkt, queue);
             }
             if let Some(next) = released.next_poll {
-                queue.schedule(next.max(now), NetEvent::CondPoll(node));
+                self.schedule_cond_poll(node, next.max(now), queue);
             }
         }
     }
@@ -481,6 +529,7 @@ impl<P: 'static> World for Network<P> {
             }
             NetEvent::CondPoll(node) => self.poll_conditioner(now, node, queue),
             NetEvent::Arrive { node, packet } => {
+                let packet = *packet;
                 let idx = node.0 as usize;
                 match self.nodes[idx].kind {
                     NodeKind::Router => self.condition_and_forward(now, node, packet, queue),
@@ -532,7 +581,9 @@ pub struct Simulation<P> {
 impl<P: 'static> Simulation<P> {
     /// Wrap a built network and schedule host start events.
     pub fn new(net: Network<P>) -> Self {
-        let mut queue = EventQueue::new();
+        // Streaming runs keep a few thousand events in flight; pre-size
+        // the heap so the hot loop never reallocates it.
+        let mut queue = EventQueue::with_capacity(4096);
         net.schedule_starts(&mut queue);
         Simulation { net, queue }
     }

@@ -129,8 +129,15 @@ pub enum TraceKind {
 /// Workspace-wide network statistics collector.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    flows: HashMap<FlowId, FlowCounters>,
+    /// A simulation tracks a handful of flows, and the counters are
+    /// touched for every packet event: a linear scan over a small vector
+    /// is cheaper than hashing the flow id each time (and gives the
+    /// [`flows`](NetStats::flows) iterator first-seen order for free).
+    flows: Vec<(FlowId, FlowCounters)>,
     traced: HashMap<FlowId, Vec<TraceEntry>>,
+    /// Fast path: skip the trace-table probe entirely when no flow is
+    /// traced (the common case for sweep runs).
+    tracing: bool,
 }
 
 impl NetStats {
@@ -143,6 +150,17 @@ impl NetStats {
     /// figures; costs memory proportional to packet count).
     pub fn trace_flow(&mut self, flow: FlowId) {
         self.traced.entry(flow).or_default();
+        self.tracing = true;
+    }
+
+    fn flow_mut(&mut self, flow: FlowId) -> &mut FlowCounters {
+        match self.flows.iter().position(|(f, _)| *f == flow) {
+            Some(i) => &mut self.flows[i].1,
+            None => {
+                self.flows.push((flow, FlowCounters::default()));
+                &mut self.flows.last_mut().expect("just pushed").1
+            }
+        }
     }
 
     /// Record a transmission by the source application.
@@ -154,7 +172,7 @@ impl NetStats {
         size: u32,
         node: NodeId,
     ) {
-        let c = self.flows.entry(flow).or_default();
+        let c = self.flow_mut(flow);
         c.tx_packets += 1;
         c.tx_bytes += size as u64;
         self.trace(
@@ -179,7 +197,7 @@ impl NetStats {
         node: NodeId,
         delay: SimDuration,
     ) {
-        let c = self.flows.entry(flow).or_default();
+        let c = self.flow_mut(flow);
         c.rx_packets += 1;
         c.rx_bytes += size as u64;
         c.delay.record(delay);
@@ -206,7 +224,7 @@ impl NetStats {
         node: NodeId,
         reason: DropReason,
     ) {
-        let c = self.flows.entry(flow).or_default();
+        let c = self.flow_mut(flow);
         *c.drops.entry(reason).or_insert(0) += 1;
         self.trace(
             flow,
@@ -221,6 +239,9 @@ impl NetStats {
     }
 
     fn trace(&mut self, flow: FlowId, entry: TraceEntry) {
+        if !self.tracing {
+            return;
+        }
         if let Some(log) = self.traced.get_mut(&flow) {
             log.push(entry);
         }
@@ -228,12 +249,16 @@ impl NetStats {
 
     /// Counters for one flow (zeroes if the flow never appeared).
     pub fn flow(&self, flow: FlowId) -> FlowCounters {
-        self.flows.get(&flow).cloned().unwrap_or_default()
+        self.flows
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_default()
     }
 
-    /// All flows observed.
+    /// All flows observed, in first-seen order.
     pub fn flows(&self) -> impl Iterator<Item = (&FlowId, &FlowCounters)> {
-        self.flows.iter()
+        self.flows.iter().map(|(f, c)| (f, c))
     }
 
     /// The trace for a flow, if tracing was enabled.

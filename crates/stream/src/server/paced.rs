@@ -81,6 +81,21 @@ impl PacedServer {
         tiers: &[EncodedClip],
         bandwidth_estimate_bps: u64,
     ) -> PacedServer {
+        let refs: Vec<&EncodedClip> = tiers.iter().collect();
+        PacedServer::new_multi_rate_shared(cfg, &refs, bandwidth_estimate_bps)
+    }
+
+    /// [`new_multi_rate`](PacedServer::new_multi_rate) over borrowed
+    /// tiers, so sweep drivers can pass shared (`Arc`-owned) encodings
+    /// without cloning each tier at every grid point.
+    ///
+    /// # Panics
+    /// Panics if `tiers` is empty or unsorted by rate.
+    pub fn new_multi_rate_shared(
+        cfg: PacedConfig,
+        tiers: &[&EncodedClip],
+        bandwidth_estimate_bps: u64,
+    ) -> PacedServer {
         assert!(!tiers.is_empty(), "need at least one encoding");
         assert!(
             tiers.windows(2).all(|w| w[0].target_bps <= w[1].target_bps),
@@ -90,7 +105,8 @@ impl PacedServer {
             .iter()
             .rev()
             .find(|t| t.target_bps <= bandwidth_estimate_bps)
-            .unwrap_or(&tiers[0]);
+            .copied()
+            .unwrap_or(tiers[0]);
         PacedServer::new(cfg, chosen)
     }
 

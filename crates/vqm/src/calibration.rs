@@ -71,6 +71,19 @@ pub fn align(
     if len == 0 {
         return Calibration::Failed;
     }
+    // The received-side mean and variance are the same at every offset;
+    // hoist them out of the search. Each accumulator below sums in the
+    // same index order as `correlation`, so results are bit-identical.
+    let n = len as f64;
+    let ma = received.iter().sum::<f64>() / n;
+    let mut va = 0.0;
+    for x in received {
+        va += (x - ma).powi(2);
+    }
+    if va < 1e-12 {
+        return Calibration::Failed;
+    }
+    let va_sqrt = va.sqrt();
     let lo = -(uncertainty as i64);
     let hi = uncertainty as i64;
     for off in lo..=hi {
@@ -79,10 +92,19 @@ pub fn align(
             continue;
         }
         let window = &reference[start as usize..start as usize + len];
-        if let Some(c) = correlation(received, window) {
-            if best.is_none_or(|(_, bc)| c > bc) {
-                best = Some((off as i32, c));
-            }
+        let mb = window.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vb = 0.0;
+        for (x, y) in received.iter().zip(window) {
+            cov += (x - ma) * (y - mb);
+            vb += (y - mb).powi(2);
+        }
+        if vb < 1e-12 {
+            continue;
+        }
+        let c = cov / (va_sqrt * vb.sqrt());
+        if best.is_none_or(|(_, bc)| c > bc) {
+            best = Some((off as i32, c));
         }
     }
     match best {
@@ -168,6 +190,26 @@ mod tests {
     fn empty_received_fails() {
         let r = wave(100, 0);
         assert_eq!(align(&[], &r, 0, 10, 0.35), Calibration::Failed);
+    }
+
+    #[test]
+    fn align_matches_correlation_bit_for_bit() {
+        // The hoisted search must report exactly what `correlation` would
+        // compute at the chosen offset — the sweep's byte-identical
+        // results depend on it.
+        let r = wave(400, 3);
+        let rec = &r[117..217];
+        match align(rec, &r, 100, 50, 0.35) {
+            Calibration::Aligned {
+                offset,
+                correlation: c,
+            } => {
+                let start = (100 + offset as i64) as usize;
+                let direct = correlation(rec, &r[start..start + rec.len()]).unwrap();
+                assert_eq!(c.to_bits(), direct.to_bits());
+            }
+            Calibration::Failed => panic!("must align"),
+        }
     }
 
     #[test]

@@ -131,7 +131,6 @@ impl Vqm {
         let ref_ti: Vec<f64> = reference.iter().map(|f| f.ti).collect();
         let rec_ti: Vec<f64> = received.iter().map(|f| f.ti).collect();
 
-        let mut segments = Vec::new();
         let stride = cfg.segment_frames - cfg.overlap_frames;
         let mut starts: Vec<usize> = (0..)
             .map(|k| k * stride)
@@ -140,6 +139,7 @@ impl Vqm {
         if starts.is_empty() {
             starts.push(0); // short clip: one segment covering everything
         }
+        let mut segments = Vec::with_capacity(starts.len());
 
         for &start in &starts {
             let end = (start + cfg.segment_frames).min(n);

@@ -113,6 +113,52 @@ fn cached_sweep_replays_the_computed_result() {
 }
 
 #[test]
+fn sweep_encodes_each_artifact_at_most_once() {
+    use dsv_core::artifacts::{self, Codec};
+    let _guard = artifacts::force_sharing(true);
+    // An encoding rate no other test uses, so the process-wide counter
+    // for this key is entirely ours.
+    let enc = 1_234_567u64;
+    let base = QboneConfig::new(ClipId2::Lost, enc, EfProfile::new(enc, DEPTH_2MTU));
+    let rates = [900_011u64, 1_400_011];
+    let depths = [DEPTH_2MTU, DEPTH_3MTU];
+    Runner::serial()
+        .with_threads(4)
+        .qbone_sweep(&base, &rates, &depths, "at-most-once grid");
+    assert_eq!(
+        artifacts::encode_runs(dsv_media::scene::ClipId::Lost, Codec::Mpeg1, enc),
+        1,
+        "4 grid points and 4 workers must share one encode"
+    );
+}
+
+#[test]
+fn shared_artifacts_leave_sweep_output_byte_identical() {
+    use dsv_core::artifacts;
+    let base = QboneConfig::new(
+        ClipId2::Lost,
+        1_000_000,
+        EfProfile::new(1_000_000, DEPTH_2MTU),
+    );
+    let rates = [900_000u64, 1_400_000];
+    let depths = [DEPTH_2MTU];
+    let unshared = {
+        let _guard = artifacts::force_sharing(false);
+        Runner::serial().qbone_sweep(&base, &rates, &depths, "sharing grid")
+    };
+    let shared = {
+        let _guard = artifacts::force_sharing(true);
+        artifacts::clear();
+        Runner::serial().qbone_sweep(&base, &rates, &depths, "sharing grid")
+    };
+    assert_eq!(
+        serde_json::to_string_pretty(&unshared).unwrap(),
+        serde_json::to_string_pretty(&shared).unwrap(),
+        "artifact sharing changed sweep output"
+    );
+}
+
+#[test]
 fn tcp_runs_are_bit_identical() {
     let mut cfg = LocalConfig::new(
         ClipId2::Lost,
