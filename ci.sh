@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo test -q (DSV_QUEUE=heap: binary-heap event-queue backend)"
+DSV_QUEUE=heap cargo test -q --workspace
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dsv_net::prelude::*;
-use dsv_sim::{EventQueue, SimDuration, SimTime};
+use dsv_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
@@ -21,6 +21,37 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(v);
         });
     });
+    g.finish();
+}
+
+/// The simulator's real arrival shape, run against both queue backends:
+/// a standing population where most pops reschedule a few microseconds
+/// out (per-packet serialization/propagation) while a sparse minority
+/// holds far-future timeouts (retransmission timers, session ends) that
+/// park in the upper wheel levels and cascade back down.
+fn bench_queue_bimodal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_bimodal");
+    g.throughput(Throughput::Elements(1));
+    for (name, backend) in [("wheel", QueueBackend::Wheel), ("heap", QueueBackend::Heap)] {
+        g.bench_function(name, |b| {
+            let mut q = EventQueue::with_backend_and_capacity(backend, 4096);
+            for i in 0..4096u64 {
+                q.schedule(SimTime::from_nanos(i * 37), i);
+            }
+            b.iter(|| {
+                let (t, v) = q.pop().expect("population maintained");
+                let delta = if v % 16 == 0 {
+                    // Sparse timeout: hundreds of milliseconds out.
+                    SimDuration::from_millis(150 + (v % 7) * 100)
+                } else {
+                    // Near-future per-packet event.
+                    SimDuration::from_micros(1 + v % 50)
+                };
+                q.schedule(t + delta, v);
+                black_box(v);
+            });
+        });
+    }
     g.finish();
 }
 
@@ -53,5 +84,10 @@ fn bench_network(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_network);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_queue_bimodal,
+    bench_network
+);
 criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Optional allocation counting for the macro-bench.
+//!
+//! Built with `--features count-allocs`, this installs a global allocator
+//! that wraps [`std::alloc::System`] and counts every `alloc`/`realloc`
+//! call, so `runner_bench` can report *allocations per grid point* — the
+//! number the packet pool and buffer-reuse work drives toward zero in
+//! steady state. Off by default because a global allocator shim taxes
+//! every allocation in the process; the timing numbers in the committed
+//! baseline are measured without it.
+
+#[cfg(feature = "count-allocs")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: defers every operation to `System`; the counter is a relaxed
+    // atomic add, which is allocation-free and reentrancy-safe.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+    pub fn allocations() -> Option<u64> {
+        Some(ALLOCS.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(not(feature = "count-allocs"))]
+mod imp {
+    pub fn allocations() -> Option<u64> {
+        None
+    }
+}
+
+/// Total heap allocations (`alloc` + `realloc` calls) so far, or `None`
+/// when the crate was built without `count-allocs`. Bracket a region with
+/// two calls and subtract.
+pub fn allocations() -> Option<u64> {
+    imp::allocations()
+}

@@ -45,6 +45,10 @@ struct RunReport {
     pts_per_sec: f64,
     stages: ProfileSnapshot,
     event_rate_per_sec: f64,
+    /// Heap allocations per grid point; present only when built with
+    /// `--features count-allocs` (the allocator shim skews timings, so the
+    /// committed baseline omits it).
+    allocs_per_point: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -87,12 +91,19 @@ fn main() {
     let label = "runner bench grid";
     let time = |tag: &str, runner: &Runner| -> (RunReport, String) {
         let before = profile::snapshot();
+        let allocs_before = dsv_bench::alloc_count::allocations();
         let t0 = Instant::now();
         let sweep = runner.qbone_sweep(&base, &rates, &depths, label);
         let dt = t0.elapsed().as_secs_f64();
         let stages = profile::snapshot().since(&before);
+        let allocs_per_point = allocs_before
+            .zip(dsv_bench::alloc_count::allocations())
+            .map(|(b, a)| (a - b) as f64 / points as f64);
+        let alloc_note = allocs_per_point
+            .map(|a| format!(", {a:.0} allocs/pt"))
+            .unwrap_or_default();
         println!(
-            "{tag:<24} {dt:7.2} s  ({:.2} pts/s, {:.2} M ev/s)",
+            "{tag:<24} {dt:7.2} s  ({:.2} pts/s, {:.2} M ev/s{alloc_note})",
             points as f64 / dt.max(1e-9),
             stages.event_rate_per_sec() / 1e6,
         );
@@ -101,6 +112,7 @@ fn main() {
             pts_per_sec: points as f64 / dt.max(1e-9),
             event_rate_per_sec: stages.event_rate_per_sec(),
             stages,
+            allocs_per_point,
         };
         (report, serde_json::to_string(&sweep).expect("serialize"))
     };

@@ -12,6 +12,7 @@
 //!
 //! This crate's library holds the small shared utilities.
 
+pub mod alloc_count;
 pub mod figures;
 
 use std::fs;

@@ -244,6 +244,7 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
     let t_sim = Instant::now();
     let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id) + SimDuration::from_secs(30));
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
+    profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);

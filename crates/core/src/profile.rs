@@ -22,6 +22,8 @@ static SIMULATE_NS: AtomicU64 = AtomicU64::new(0);
 static SCORE_NS: AtomicU64 = AtomicU64::new(0);
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static POINTS: AtomicU64 = AtomicU64::new(0);
+static QUEUE_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+static POOL_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
 
 /// Record time spent acquiring encode-stage artifacts (model/encoder/
 /// reference features) for one run.
@@ -39,6 +41,14 @@ pub fn add_simulate(d: Duration, events: u64) {
 /// Record time spent scoring (received features + VQM) for one run.
 pub fn add_score(d: Duration) {
     SCORE_NS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Record one run's peak queue population and peak in-flight packet count.
+/// The process-wide value is the max over all runs — the number that sizes
+/// `EventQueue::with_capacity` / `PacketPool::with_capacity`.
+pub fn record_high_water(queue: usize, pool: usize) {
+    QUEUE_HIGH_WATER.fetch_max(queue as u64, Ordering::Relaxed);
+    POOL_HIGH_WATER.fetch_max(pool as u64, Ordering::Relaxed);
 }
 
 /// Whether `DSV_PROFILE=1` asked for stderr stage reports.
@@ -62,6 +72,12 @@ pub struct ProfileSnapshot {
     pub events: u64,
     /// Simulated points (one per run).
     pub points: u64,
+    /// Peak event-queue population across all runs (sizes
+    /// `EventQueue::with_capacity`).
+    pub queue_high_water: u64,
+    /// Peak in-flight packet count across all runs (sizes
+    /// `PacketPool::with_capacity`).
+    pub pool_high_water: u64,
 }
 
 impl ProfileSnapshot {
@@ -73,6 +89,10 @@ impl ProfileSnapshot {
             score_ns: self.score_ns.saturating_sub(other.score_ns),
             events: self.events.saturating_sub(other.events),
             points: self.points.saturating_sub(other.points),
+            // High-water marks are maxima, not sums: the delta of a batch
+            // is simply the current peak.
+            queue_high_water: self.queue_high_water,
+            pool_high_water: self.pool_high_water,
         }
     }
 
@@ -91,13 +111,15 @@ impl ProfileSnapshot {
         let ms = |ns: u64| ns as f64 / 1e6;
         format!(
             "{} points | encode {:.1} ms, simulate {:.1} ms, score {:.1} ms | \
-             {} events ({:.2} M ev/s)",
+             {} events ({:.2} M ev/s) | peak queue {}, peak in-flight {}",
             self.points,
             ms(self.encode_ns),
             ms(self.simulate_ns),
             ms(self.score_ns),
             self.events,
             self.event_rate_per_sec() / 1e6,
+            self.queue_high_water,
+            self.pool_high_water,
         )
     }
 }
@@ -110,6 +132,8 @@ pub fn snapshot() -> ProfileSnapshot {
         score_ns: SCORE_NS.load(Ordering::Relaxed),
         events: EVENTS.load(Ordering::Relaxed),
         points: POINTS.load(Ordering::Relaxed),
+        queue_high_water: QUEUE_HIGH_WATER.load(Ordering::Relaxed),
+        pool_high_water: POOL_HIGH_WATER.load(Ordering::Relaxed),
     }
 }
 
@@ -120,6 +144,8 @@ pub fn reset() {
     SCORE_NS.store(0, Ordering::Relaxed);
     EVENTS.store(0, Ordering::Relaxed);
     POINTS.store(0, Ordering::Relaxed);
+    QUEUE_HIGH_WATER.store(0, Ordering::Relaxed);
+    POOL_HIGH_WATER.store(0, Ordering::Relaxed);
 }
 
 /// Print a labelled stage report for the delta since `since` on stderr
@@ -150,6 +176,16 @@ mod tests {
         assert!(delta.points >= 1);
         assert!(delta.event_rate_per_sec() > 0.0);
         assert!(delta.summary().contains("events"));
+    }
+
+    #[test]
+    fn high_water_is_a_process_wide_maximum() {
+        record_high_water(10, 5);
+        record_high_water(4, 2); // smaller run must not lower the peak
+        let s = snapshot();
+        assert!(s.queue_high_water >= 10);
+        assert!(s.pool_high_water >= 5);
+        assert!(s.summary().contains("peak queue"));
     }
 
     #[test]

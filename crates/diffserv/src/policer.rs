@@ -80,19 +80,29 @@ impl Policer {
 
     /// Apply the policer to one packet.
     pub fn police<P>(&mut self, now: SimTime, mut pkt: Packet<P>) -> PolicerVerdict<P> {
+        if self.police_in_place(now, &mut pkt) {
+            PolicerVerdict::Pass(pkt)
+        } else {
+            PolicerVerdict::Drop(pkt)
+        }
+    }
+
+    /// Apply the policer to a borrowed packet, re-marking it in place.
+    /// Returns `true` to forward, `false` to drop.
+    pub fn police_in_place<P>(&mut self, now: SimTime, pkt: &mut Packet<P>) -> bool {
         if self.bucket.try_consume(now, pkt.size) {
             self.conformant += 1;
             if let Some(mark) = self.conform_mark {
                 pkt.dscp = mark;
             }
-            PolicerVerdict::Pass(pkt)
+            true
         } else {
             self.non_conformant += 1;
             match self.exceed {
-                ExceedAction::Drop => PolicerVerdict::Drop(pkt),
+                ExceedAction::Drop => false,
                 ExceedAction::Remark(d) => {
                     pkt.dscp = d;
-                    PolicerVerdict::Pass(pkt)
+                    true
                 }
             }
         }

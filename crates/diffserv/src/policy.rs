@@ -7,7 +7,7 @@
 //! ordered list of `(profile, action)` pairs; the first matching rule wins
 //! and unmatched packets pass untouched.
 
-use dsv_net::conditioner::{ConditionOutcome, Conditioner, Released};
+use dsv_net::conditioner::{ConditionOutcome, Conditioner, QuickVerdict, Released};
 use dsv_net::packet::{DropReason, Dscp, Packet};
 use dsv_sim::SimTime;
 
@@ -130,6 +130,43 @@ impl<P> Conditioner<P> for PolicyTable<P> {
             };
         }
         ConditionOutcome::Pass(pkt)
+    }
+
+    /// In-place mirror of [`PolicyTable::submit`]: everything except
+    /// shaping (which absorbs the packet) is decided against a borrow, so
+    /// the network's pass-through fast path applies to policed, marked and
+    /// metered traffic alike.
+    fn quick(&mut self, now: SimTime, pkt: &mut Packet<P>) -> QuickVerdict {
+        for rule in &mut self.rules {
+            if !rule.profile.matches(pkt) {
+                continue;
+            }
+            return match &mut rule.action {
+                PolicyAction::Pass => QuickVerdict::Pass,
+                PolicyAction::Mark(d) => {
+                    pkt.dscp = *d;
+                    QuickVerdict::Pass
+                }
+                PolicyAction::MeterAf { meter, class } => {
+                    let precedence = match meter.meter(now, pkt.size) {
+                        Color::Green => 1,
+                        Color::Yellow => 2,
+                        Color::Red => 3,
+                    };
+                    pkt.dscp = Dscp::af(*class, precedence);
+                    QuickVerdict::Pass
+                }
+                PolicyAction::Police(p) => {
+                    if p.police_in_place(now, pkt) {
+                        QuickVerdict::Pass
+                    } else {
+                        QuickVerdict::Drop(DropReason::PolicerNonConformant)
+                    }
+                }
+                PolicyAction::Shape(_) => QuickVerdict::NeedsSubmit,
+            };
+        }
+        QuickVerdict::Pass
     }
 
     fn release(&mut self, now: SimTime) -> Released<P> {

@@ -57,10 +57,18 @@ impl<P> AppCtx<P> {
     /// Create a context for a callback at `now` on `host`. Exposed so that
     /// transport/application unit tests can drive state machines directly.
     pub fn new(now: SimTime, host: NodeId) -> Self {
+        Self::with_buffer(now, host, Vec::new())
+    }
+
+    /// Create a context that records commands into a recycled buffer. The
+    /// network threads one buffer through every callback so steady-state
+    /// dispatch allocates nothing.
+    pub fn with_buffer(now: SimTime, host: NodeId, commands: Vec<AppCommand<P>>) -> Self {
+        debug_assert!(commands.is_empty());
         AppCtx {
             now,
             host,
-            commands: Vec::new(),
+            commands,
         }
     }
 

@@ -51,10 +51,39 @@ impl<P> Released<P> {
     }
 }
 
+/// A conditioning decision reached without taking the packet out of the
+/// caller's hands (see [`Conditioner::quick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuickVerdict {
+    /// Forward the packet now. The conditioner may have re-marked it in
+    /// place; it must be byte-for-byte what [`Conditioner::submit`] would
+    /// have returned inside [`ConditionOutcome::Pass`].
+    Pass,
+    /// Discard the packet for this reason — identical to what `submit`
+    /// would have returned inside [`ConditionOutcome::Drop`].
+    Drop(DropReason),
+    /// The decision needs ownership (e.g. shaping absorbs the packet):
+    /// the caller must fall back to [`Conditioner::submit`]. The packet
+    /// must not have been mutated.
+    NeedsSubmit,
+}
+
 /// An ingress traffic conditioner.
 pub trait Conditioner<P> {
     /// Submit a packet arriving at the router.
     fn submit(&mut self, now: SimTime, pkt: Packet<P>) -> ConditionOutcome<P>;
+
+    /// Decide the packet's fate in place, when possible.
+    ///
+    /// This is the network's fast path: a [`QuickVerdict::Pass`] lets the
+    /// router forward the packet without lifting it out of the in-flight
+    /// pool. Implementations must behave exactly like
+    /// [`Conditioner::submit`] (same metering state updates, same marking,
+    /// same verdict) or return [`QuickVerdict::NeedsSubmit`] untouched; the
+    /// default conservatively always defers.
+    fn quick(&mut self, _now: SimTime, _pkt: &mut Packet<P>) -> QuickVerdict {
+        QuickVerdict::NeedsSubmit
+    }
 
     /// Poll for packets whose release time has come. Only called if a prior
     /// [`ConditionOutcome::Absorbed`] or [`Released::next_poll`] asked for
@@ -70,6 +99,10 @@ pub struct PassThrough;
 impl<P> Conditioner<P> for PassThrough {
     fn submit(&mut self, _now: SimTime, pkt: Packet<P>) -> ConditionOutcome<P> {
         ConditionOutcome::Pass(pkt)
+    }
+
+    fn quick(&mut self, _now: SimTime, _pkt: &mut Packet<P>) -> QuickVerdict {
+        QuickVerdict::Pass
     }
 
     fn release(&mut self, _now: SimTime) -> Released<P> {

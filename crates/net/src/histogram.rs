@@ -35,13 +35,49 @@ fn bucket_floor_ns(k: usize) -> f64 {
     1_000.0 * 10f64.powf(k as f64 / 8.0)
 }
 
-fn bucket_of(d: SimDuration) -> usize {
-    let ns = d.as_nanos() as f64;
+/// `bucket_of` as originally defined by the float formula; kept as the
+/// source of truth the integer thresholds are derived from (and checked
+/// against in tests).
+fn bucket_of_float(ns_total: u64) -> usize {
+    let ns = ns_total as f64;
     if ns < 1_000.0 {
         return 0;
     }
     let k = ((ns / 1_000.0).log10() * 8.0).floor() as usize;
     k.min(BUCKETS - 1)
+}
+
+/// Smallest nanosecond value belonging to each bucket, derived once from
+/// the float formula so the integer classifier reproduces it bit-exactly
+/// (including any floating-point quirks at the decade boundaries).
+fn bucket_thresholds() -> &'static [u64; BUCKETS] {
+    use std::sync::OnceLock;
+    static THRESHOLDS: OnceLock<[u64; BUCKETS]> = OnceLock::new();
+    THRESHOLDS.get_or_init(|| {
+        let mut t = [0u64; BUCKETS];
+        for (k, slot) in t.iter_mut().enumerate().skip(1) {
+            // Start from the analytic boundary and walk to the exact
+            // integer where the float formula first reports bucket k.
+            let mut ns = (1_000.0 * 10f64.powf(k as f64 / 8.0)) as u64;
+            while bucket_of_float(ns) >= k {
+                ns -= 1;
+            }
+            while bucket_of_float(ns) < k {
+                ns += 1;
+            }
+            *slot = ns;
+        }
+        t
+    })
+}
+
+fn bucket_of(d: SimDuration) -> usize {
+    let ns = d.as_nanos();
+    let t = bucket_thresholds();
+    // partition_point returns how many thresholds are <= ns; thresholds
+    // for buckets 1.. are strictly increasing, so that count is the
+    // bucket index (values below 1 µs fall into bucket 0).
+    t[1..].partition_point(|&b| b <= ns)
 }
 
 impl DurationHistogram {
@@ -161,6 +197,34 @@ mod tests {
             let truth = d.as_secs_f64();
             let ratio = (est / truth).max(truth / est);
             assert!(ratio < 1.19, "{ms} ms: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn integer_thresholds_match_float_formula_exactly() {
+        // Around every bucket boundary the table classifier must agree
+        // with the original float formula bit-for-bit.
+        for &t in bucket_thresholds().iter().skip(1) {
+            for ns in t.saturating_sub(3)..=t + 3 {
+                assert_eq!(
+                    bucket_of(SimDuration::from_nanos(ns)),
+                    bucket_of_float(ns),
+                    "divergence at {ns} ns"
+                );
+            }
+        }
+        // And across a deterministic pseudo-random sweep of magnitudes.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let ns = x % 8_000_000_000_000_000_000;
+            assert_eq!(
+                bucket_of(SimDuration::from_nanos(ns)),
+                bucket_of_float(ns),
+                "divergence at {ns} ns"
+            );
         }
     }
 

@@ -50,6 +50,7 @@ pub mod histogram;
 pub mod link;
 pub mod network;
 pub mod packet;
+pub mod pool;
 pub mod qdisc;
 pub mod stats;
 pub mod traffic;
@@ -58,7 +59,9 @@ pub mod wred;
 /// Convenient re-exports of the names almost every user needs.
 pub mod prelude {
     pub use crate::app::{AppCtx, Application, NullApp, SendSpec, Shared};
-    pub use crate::conditioner::{ConditionOutcome, Conditioner, PassThrough, Released};
+    pub use crate::conditioner::{
+        ConditionOutcome, Conditioner, PassThrough, QuickVerdict, Released,
+    };
     pub use crate::frame_relay::{FrInterfaceType, FrameRelayProfile};
     pub use crate::histogram::DurationHistogram;
     pub use crate::link::Link;
@@ -67,6 +70,7 @@ pub mod prelude {
         DropReason, Dscp, FlowId, FragmentInfo, NodeId, Packet, PacketId, PortId, Proto,
         ETHERNET_MTU,
     };
+    pub use crate::pool::{PacketPool, PacketRef};
     pub use crate::qdisc::{
         ef_high_priority, DropTailQueue, EnqueueResult, Qdisc, QueueLimits, StrictPriorityQueue,
     };

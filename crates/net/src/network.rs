@@ -18,15 +18,20 @@ use std::collections::VecDeque;
 use dsv_sim::{EventQueue, SimDuration, SimTime, World};
 
 use crate::app::{AppCommand, AppCtx, Application};
-use crate::conditioner::{ConditionOutcome, Conditioner};
+use crate::conditioner::{ConditionOutcome, Conditioner, QuickVerdict};
 use crate::link::Link;
 use crate::packet::{DropReason, NodeId, Packet, PacketId, PortId};
+use crate::pool::{PacketPool, PacketRef};
 use crate::qdisc::{DropTailQueue, Qdisc, QueueLimits};
 use crate::stats::NetStats;
 
 /// Events the network world handles.
+///
+/// Deliberately small (16 bytes) and payload-free: in-flight packets live
+/// in the network's [`PacketPool`] and events carry only a [`PacketRef`],
+/// so queue entries stay compact and forwarding allocates nothing.
 #[derive(Debug)]
-pub enum NetEvent<P> {
+pub enum NetEvent {
     /// Deliver the start callback to a host's application.
     Start(NodeId),
     /// Fire an application timer.
@@ -40,10 +45,9 @@ pub enum NetEvent<P> {
     Arrive {
         /// Receiving node.
         node: NodeId,
-        /// The packet, boxed so the in-flight variant doesn't inflate
-        /// every queued event to packet size (heap entries are moved on
-        /// every sift; keeping them small is a measured win).
-        packet: Box<Packet<P>>,
+        /// Handle to the packet, parked in the network's pool while on
+        /// the wire.
+        packet: PacketRef,
     },
     /// An output port finished serializing its current packet.
     PortReady {
@@ -61,6 +65,19 @@ struct Port<P> {
     peer: NodeId,
     qdisc: Box<dyn Qdisc<P>>,
     busy: bool,
+    /// Packets currently inside `qdisc`, mirrored here so the hot paths
+    /// (is the port drained? can a packet pass straight through?) answer
+    /// without a virtual call. Maintained by the only two call sites that
+    /// mutate the discipline.
+    queued: u32,
+    /// Cached [`Qdisc::direct_admit_cap`]: with the port idle and drained,
+    /// a packet of `size <= direct_cap` bytes transmits straight through
+    /// without touching the discipline.
+    direct_cap: u32,
+    /// Last `(size, serialization time)` computed for this port. Streams
+    /// send runs of equal-sized packets, so this one-entry memo removes a
+    /// 128-bit division from almost every transmission.
+    ser_memo: (u32, SimDuration),
 }
 
 enum NodeKind {
@@ -157,17 +174,25 @@ impl<P: 'static> NetworkBuilder<P> {
         qdisc_ba: Box<dyn Qdisc<P>>,
     ) {
         assert_ne!(a, b, "self-loops are not allowed");
+        let cap_ab = qdisc_ab.direct_admit_cap();
+        let cap_ba = qdisc_ba.direct_admit_cap();
         self.nodes[a.0 as usize].ports.push(Port {
             link: link_ab,
             peer: b,
             qdisc: qdisc_ab,
             busy: false,
+            queued: 0,
+            direct_cap: cap_ab,
+            ser_memo: (0, SimDuration::ZERO),
         });
         self.nodes[b.0 as usize].ports.push(Port {
             link: link_ba,
             peer: a,
             qdisc: qdisc_ba,
             busy: false,
+            queued: 0,
+            direct_cap: cap_ba,
+            ser_memo: (0, SimDuration::ZERO),
         });
     }
 
@@ -262,6 +287,12 @@ impl<P: 'static> NetworkBuilder<P> {
             cond_poll_at: vec![None; node_count],
             stats: NetStats::new(),
             next_packet_id: 0,
+            // Streaming runs keep at most a few dozen packets on the wire
+            // at once (the in-flight high-water mark reported by
+            // `DSV_PROFILE=1` stays under ~32 across the paper's grids);
+            // pre-size so the pool never reallocates mid-run.
+            pool: PacketPool::with_capacity(64),
+            cmd_buf: Vec::with_capacity(8),
         }
     }
 }
@@ -289,11 +320,17 @@ pub struct Network<P> {
     /// the run and read counters afterwards).
     pub stats: NetStats,
     next_packet_id: u64,
+    /// In-flight packets, parked between transmission and arrival so the
+    /// event queue carries only [`PacketRef`] handles.
+    pool: PacketPool<P>,
+    /// Reusable application command buffer: one allocation for the whole
+    /// run instead of one per callback that issues commands.
+    cmd_buf: Vec<AppCommand<P>>,
 }
 
 impl<P: 'static> Network<P> {
     /// Schedule the start events for every host. Call once before running.
-    pub fn schedule_starts(&self, queue: &mut EventQueue<NetEvent<P>>) {
+    pub fn schedule_starts(&self, queue: &mut EventQueue<NetEvent>) {
         for (i, node) in self.nodes.iter().enumerate() {
             if let NodeKind::Host { start_at } = node.kind {
                 queue.schedule(start_at, NetEvent::Start(NodeId(i as u32)));
@@ -326,17 +363,21 @@ impl<P: 'static> Network<P> {
         now: SimTime,
         node: NodeId,
         f: F,
-        queue: &mut EventQueue<NetEvent<P>>,
+        queue: &mut EventQueue<NetEvent>,
     ) where
         F: FnOnce(&mut dyn Application<P>, &mut AppCtx<P>),
     {
         let idx = node.0 as usize;
-        let mut app = self.apps[idx].take().expect("event for a router app");
-        let mut ctx = AppCtx::new(now, node);
+        // Hand the application the network's reusable command buffer;
+        // callbacks never nest (commands are executed after the callback
+        // returns and only schedule events), so one buffer suffices. The
+        // app stays in place — `apps` and `cmd_buf` are disjoint fields,
+        // so the callback borrow never conflicts with the buffer move.
+        let mut ctx = AppCtx::with_buffer(now, node, std::mem::take(&mut self.cmd_buf));
+        let app = self.apps[idx].as_mut().expect("event for a router app");
         f(app.as_mut(), &mut ctx);
-        let commands = ctx.take_commands();
-        self.apps[idx] = Some(app);
-        for cmd in commands {
+        let mut commands = ctx.take_commands();
+        for cmd in commands.drain(..) {
             match cmd {
                 AppCommand::SetTimer { delay, token } => {
                     queue.schedule(now + delay, NetEvent::Timer { node, token });
@@ -362,6 +403,7 @@ impl<P: 'static> Network<P> {
                 }
             }
         }
+        self.cmd_buf = commands;
     }
 
     fn forward(
@@ -369,7 +411,7 @@ impl<P: 'static> Network<P> {
         now: SimTime,
         node: NodeId,
         pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent<P>>,
+        queue: &mut EventQueue<NetEvent>,
     ) {
         let idx = node.0 as usize;
         match self.nodes[idx]
@@ -392,12 +434,20 @@ impl<P: 'static> Network<P> {
         node: NodeId,
         port: PortId,
         pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent<P>>,
+        queue: &mut EventQueue<NetEvent>,
     ) {
         let idx = node.0 as usize;
         let p = &mut self.nodes[idx].ports[port.0 as usize];
+        // Idle port, discipline drained and willing: transmit straight
+        // through — an enqueue followed by an immediate dequeue would hand
+        // the same packet back, so skip both virtual calls.
+        if !p.busy && p.queued == 0 && pkt.size <= p.direct_cap {
+            self.begin_transmit(now, node, port, pkt, queue);
+            return;
+        }
         match p.qdisc.enqueue(pkt) {
             Ok(()) => {
+                p.queued += 1;
                 if !p.busy {
                     self.transmit_next(now, node, port, queue);
                 }
@@ -420,24 +470,153 @@ impl<P: 'static> Network<P> {
         now: SimTime,
         node: NodeId,
         port: PortId,
-        queue: &mut EventQueue<NetEvent<P>>,
+        queue: &mut EventQueue<NetEvent>,
     ) {
         let idx = node.0 as usize;
         let p = &mut self.nodes[idx].ports[port.0 as usize];
         debug_assert!(!p.busy);
+        if p.queued == 0 {
+            return;
+        }
         if let Some(pkt) = p.qdisc.dequeue() {
-            p.busy = true;
+            p.queued -= 1;
+            self.begin_transmit(now, node, port, pkt, queue);
+        }
+    }
+
+    /// Put `pkt` on the wire out of an idle `port`: mark the port busy and
+    /// schedule its `PortReady` plus the peer's `Arrive` (in that order —
+    /// the event sequence every path through the port logic must produce).
+    fn begin_transmit(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        pkt: Packet<P>,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
+        debug_assert!(!p.busy);
+        p.busy = true;
+        let ser = if p.ser_memo.0 == pkt.size {
+            p.ser_memo.1
+        } else {
             let ser = p.link.serialization(pkt.size);
-            let arrive = p.link.arrival_time(now, pkt.size);
-            let peer = p.peer;
-            queue.schedule(now + ser, NetEvent::PortReady { node, port });
-            queue.schedule(
-                arrive,
-                NetEvent::Arrive {
-                    node: peer,
-                    packet: Box::new(pkt),
-                },
-            );
+            p.ser_memo = (pkt.size, ser);
+            ser
+        };
+        let arrive = now + ser + p.link.propagation;
+        let peer = p.peer;
+        queue.schedule(now + ser, NetEvent::PortReady { node, port });
+        queue.schedule(
+            arrive,
+            NetEvent::Arrive {
+                node: peer,
+                packet: self.pool.insert(pkt),
+            },
+        );
+    }
+
+    /// Like [`Network::begin_transmit`], but for a packet that never left
+    /// the pool: the same [`PacketRef`] rides the next `Arrive`, so a
+    /// router hop moves a handle instead of the packet body.
+    fn relay_transmit(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        size: u32,
+        packet: PacketRef,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
+        debug_assert!(!p.busy);
+        p.busy = true;
+        let ser = if p.ser_memo.0 == size {
+            p.ser_memo.1
+        } else {
+            let ser = p.link.serialization(size);
+            p.ser_memo = (size, ser);
+            ser
+        };
+        let arrive = now + ser + p.link.propagation;
+        let peer = p.peer;
+        queue.schedule(now + ser, NetEvent::PortReady { node, port });
+        queue.schedule(arrive, NetEvent::Arrive { node: peer, packet });
+    }
+
+    /// Peak number of simultaneously in-flight packets observed so far
+    /// (sizes [`PacketPool::with_capacity`]; reported by `DSV_PROFILE=1`).
+    pub fn pool_high_water(&self) -> usize {
+        self.pool.high_water()
+    }
+
+    /// A packet arrived at a router: condition it, route it, and move it
+    /// toward its next hop.
+    ///
+    /// The packet stays parked in the pool while the conditioner's
+    /// [`Conditioner::quick`] verdict and the route are computed against a
+    /// borrow; if the outgoing port is idle and its discipline admits the
+    /// packet directly, the very same [`PacketRef`] is relayed onward and
+    /// the hop never copies the packet at all. Every other case (shaping,
+    /// drops, busy ports, full queues) lifts the packet out and follows
+    /// the classic store-and-forward path, producing the identical event
+    /// sequence it always has.
+    fn router_arrive(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: PacketRef,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let idx = node.0 as usize;
+        let verdict = match self.conditioners[idx].as_mut() {
+            Some(cond) => cond.quick(now, self.pool.get_mut(packet)),
+            None => QuickVerdict::Pass,
+        };
+        match verdict {
+            QuickVerdict::Pass => {
+                let (dst, size) = {
+                    let pkt = self.pool.get_mut(packet);
+                    (pkt.dst, pkt.size)
+                };
+                match self.nodes[idx]
+                    .routes
+                    .get(dst.0 as usize)
+                    .copied()
+                    .flatten()
+                {
+                    Some(port) => {
+                        let p = &self.nodes[idx].ports[port.0 as usize];
+                        if !p.busy && p.queued == 0 && size <= p.direct_cap {
+                            self.relay_transmit(now, node, port, size, packet, queue);
+                        } else {
+                            let pkt = self.pool.take(packet);
+                            self.enqueue_on_port(now, node, port, pkt, queue);
+                        }
+                    }
+                    None => {
+                        let pkt = self.pool.take(packet);
+                        self.stats.on_dropped(
+                            now,
+                            pkt.flow,
+                            pkt.id,
+                            pkt.size,
+                            node,
+                            DropReason::NoRoute,
+                        );
+                    }
+                }
+            }
+            QuickVerdict::Drop(reason) => {
+                let pkt = self.pool.take(packet);
+                self.stats
+                    .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, reason);
+            }
+            QuickVerdict::NeedsSubmit => {
+                let pkt = self.pool.take(packet);
+                self.condition_and_forward(now, node, pkt, queue);
+            }
         }
     }
 
@@ -446,7 +625,7 @@ impl<P: 'static> Network<P> {
         now: SimTime,
         node: NodeId,
         pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent<P>>,
+        queue: &mut EventQueue<NetEvent>,
     ) {
         let idx = node.0 as usize;
         if let Some(mut cond) = self.conditioners[idx].take() {
@@ -470,12 +649,7 @@ impl<P: 'static> Network<P> {
     /// Request a conditioner poll at `at`, skipping the event if an earlier
     /// (or equal) poll is already pending — that one will observe the same
     /// queue head and reschedule as needed.
-    fn schedule_cond_poll(
-        &mut self,
-        node: NodeId,
-        at: SimTime,
-        queue: &mut EventQueue<NetEvent<P>>,
-    ) {
+    fn schedule_cond_poll(&mut self, node: NodeId, at: SimTime, queue: &mut EventQueue<NetEvent>) {
         let slot = &mut self.cond_poll_at[node.0 as usize];
         match slot {
             Some(pending) if *pending <= at => {}
@@ -486,12 +660,7 @@ impl<P: 'static> Network<P> {
         }
     }
 
-    fn poll_conditioner(
-        &mut self,
-        now: SimTime,
-        node: NodeId,
-        queue: &mut EventQueue<NetEvent<P>>,
-    ) {
+    fn poll_conditioner(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent>) {
         let idx = node.0 as usize;
         // This firing satisfies the pending request (if it is the one we
         // tracked); later requests re-arm via `schedule_cond_poll`.
@@ -512,9 +681,9 @@ impl<P: 'static> Network<P> {
 }
 
 impl<P: 'static> World for Network<P> {
-    type Event = NetEvent<P>;
+    type Event = NetEvent;
 
-    fn handle(&mut self, now: SimTime, event: NetEvent<P>, queue: &mut EventQueue<NetEvent<P>>) {
+    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
         match event {
             NetEvent::Start(node) => {
                 self.dispatch_app(now, node, |app, ctx| app.on_start(ctx), queue);
@@ -529,11 +698,11 @@ impl<P: 'static> World for Network<P> {
             }
             NetEvent::CondPoll(node) => self.poll_conditioner(now, node, queue),
             NetEvent::Arrive { node, packet } => {
-                let packet = *packet;
                 let idx = node.0 as usize;
                 match self.nodes[idx].kind {
-                    NodeKind::Router => self.condition_and_forward(now, node, packet, queue),
+                    NodeKind::Router => self.router_arrive(now, node, packet, queue),
                     NodeKind::Host { .. } => {
+                        let packet = self.pool.take(packet);
                         if packet.dst == node {
                             let delay = now.saturating_since(packet.sent_at);
                             self.stats.on_delivered(
@@ -575,14 +744,15 @@ pub struct Simulation<P> {
     /// The network world.
     pub net: Network<P>,
     /// The pending-event queue.
-    pub queue: EventQueue<NetEvent<P>>,
+    pub queue: EventQueue<NetEvent>,
 }
 
 impl<P: 'static> Simulation<P> {
     /// Wrap a built network and schedule host start events.
     pub fn new(net: Network<P>) -> Self {
-        // Streaming runs keep a few thousand events in flight; pre-size
-        // the heap so the hot loop never reallocates it.
+        // The paper's grids keep only a few dozen events pending (the
+        // queue high-water mark reported by `DSV_PROFILE=1`); the
+        // capacity covers bursty topologies without a mid-run grow.
         let mut queue = EventQueue::with_capacity(4096);
         net.schedule_starts(&mut queue);
         Simulation { net, queue }

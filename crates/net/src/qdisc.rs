@@ -45,6 +45,22 @@ pub trait Qdisc<P> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Largest packet size (bytes) for which, **whenever the discipline is
+    /// empty**, an [`Qdisc::enqueue`] immediately followed by a
+    /// [`Qdisc::dequeue`] is guaranteed to hand the very same packet back
+    /// unchanged — for any DSCP, with no observable side effects.
+    ///
+    /// The port logic caches this bound and transmits straight through an
+    /// idle port when `size <= cap`, skipping both virtual calls on the
+    /// forwarding fast path. The bound may be conservative (a packet above
+    /// it simply takes the classic enqueue/dequeue route, which produces
+    /// the identical event sequence); disciplines whose admission decision
+    /// has per-packet side effects (e.g. WRED's average-occupancy filter)
+    /// keep the default of `0`, which disables pass-through entirely.
+    fn direct_admit_cap(&self) -> u32 {
+        0
+    }
 }
 
 /// Capacity limits for a FIFO band.
@@ -132,6 +148,13 @@ impl<P> Qdisc<P> for DropTailQueue<P> {
     fn bytes(&self) -> u64 {
         self.bytes
     }
+
+    fn direct_admit_cap(&self) -> u32 {
+        if self.limits.max_packets == 0 {
+            return 0;
+        }
+        u32::try_from(self.limits.max_bytes).unwrap_or(u32::MAX)
+    }
 }
 
 /// Maps a DSCP to a priority band (0 = highest priority).
@@ -198,6 +221,17 @@ impl<P> Qdisc<P> for StrictPriorityQueue<P> {
 
     fn bytes(&self) -> u64 {
         self.bands.iter().map(|b| b.bytes).sum()
+    }
+
+    fn direct_admit_cap(&self) -> u32 {
+        // The min across bands is conservative: a packet may classify to a
+        // roomier band, but underestimating only reroutes it through the
+        // ordinary enqueue/dequeue pair.
+        self.bands
+            .iter()
+            .map(|b| Qdisc::<P>::direct_admit_cap(b))
+            .min()
+            .unwrap_or(0)
     }
 }
 

@@ -41,6 +41,9 @@ pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>) -> RunStat
 
 /// Run until the queue is empty or the next event is strictly after
 /// `horizon`. Events scheduled exactly at the horizon are dispatched.
+///
+/// The loop uses [`EventQueue::pop_at_or_before`] — a fused peek + pop —
+/// so each dispatched event costs one queue operation, not two.
 pub fn run_until<W: World>(
     world: &mut W,
     queue: &mut EventQueue<W::Event>,
@@ -48,29 +51,17 @@ pub fn run_until<W: World>(
 ) -> RunStats {
     let mut dispatched = 0u64;
     let mut end_time = SimTime::ZERO;
-    loop {
-        match queue.peek_time() {
-            None => {
-                return RunStats {
-                    dispatched,
-                    end_time,
-                    hit_horizon: false,
-                }
-            }
-            Some(t) if t > horizon => {
-                return RunStats {
-                    dispatched,
-                    end_time,
-                    hit_horizon: true,
-                }
-            }
-            Some(_) => {
-                let (now, ev) = queue.pop().expect("peeked event vanished");
-                world.handle(now, ev, queue);
-                dispatched += 1;
-                end_time = now;
-            }
-        }
+    while let Some((now, ev)) = queue.pop_at_or_before(horizon) {
+        world.handle(now, ev, queue);
+        dispatched += 1;
+        end_time = now;
+    }
+    RunStats {
+        dispatched,
+        end_time,
+        // The loop exits either because the queue drained or because the
+        // remaining events are all after the horizon.
+        hit_horizon: !queue.is_empty(),
     }
 }
 

@@ -16,8 +16,11 @@
 //!    the order they were scheduled (FIFO tie-breaking via a sequence
 //!    counter), so component interleavings never depend on heap internals.
 //! 3. **Simplicity** — in the spirit of event-driven stacks such as smoltcp,
-//!    the engine is a plain binary heap and a dispatch loop; components are
-//!    state machines that take `now` explicitly and never block.
+//!    the engine is a time-ordered queue and a dispatch loop; components are
+//!    state machines that take `now` explicitly and never block. The queue
+//!    is a hierarchical timing wheel by default (`O(1)` schedule/pop for
+//!    the simulator's near-future-dominated workload), with the original
+//!    binary heap selectable via `DSV_QUEUE=heap` as an ordering oracle.
 //!
 //! The three building blocks are:
 //!
@@ -34,8 +37,9 @@ pub mod engine;
 pub mod queue;
 pub mod rng;
 pub mod time;
+mod wheel;
 
 pub use engine::{run, run_until, World};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

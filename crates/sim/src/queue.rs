@@ -1,44 +1,89 @@
 //! The time-ordered event queue.
 //!
-//! [`EventQueue`] is a binary heap of `(time, sequence, event)` triples.
-//! The sequence number makes ordering **total and stable**: two events
-//! scheduled for the same instant are delivered in scheduling order. This is
-//! what makes simulations reproducible — component interleavings never
-//! depend on `BinaryHeap` internals.
+//! [`EventQueue`] delivers `(time, sequence, event)` triples in **total,
+//! stable** order: events fire by ascending time, and two events scheduled
+//! for the same instant are delivered in scheduling order. This is what
+//! makes simulations reproducible — component interleavings never depend
+//! on the container's internals.
+//!
+//! Two interchangeable backends implement that contract:
+//!
+//! * [`QueueBackend::Wheel`] (default) — a hierarchical timing wheel
+//!   (see [`crate::wheel`]): `O(1)` schedule, amortized `O(1)` pop, no
+//!   per-event comparisons through a heap. This is the fast path for the
+//!   simulator's workload of densely clustered near-future events.
+//! * [`QueueBackend::Heap`] — the original binary heap of
+//!   `(time, seq, event)` triples, kept as a independently-correct oracle
+//!   and selectable at runtime with `DSV_QUEUE=heap`.
+//!
+//! Both backends produce identical delivery sequences (property-tested in
+//! `tests/queue_equivalence.rs` and asserted byte-for-byte across the
+//! experiment pipeline by `pipeline_determinism` under both settings).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 use crate::time::SimTime;
+use crate::wheel::{Entry, Wheel};
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// Which container implements the queue's ordering contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Hierarchical timing wheel (default).
+    Wheel,
+    /// Binary heap (the `DSV_QUEUE=heap` fallback oracle).
+    Heap,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl QueueBackend {
+    /// The backend selected by the `DSV_QUEUE` environment variable:
+    /// `wheel` (or unset/empty) and `heap` are accepted; anything else is
+    /// a configuration error and panics, because silently falling back
+    /// would make perf comparisons lie.
+    pub fn from_env() -> QueueBackend {
+        static CHOICE: OnceLock<QueueBackend> = OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("DSV_QUEUE") {
+            Err(_) => QueueBackend::Wheel,
+            Ok(v) => match v.trim() {
+                "" | "wheel" => QueueBackend::Wheel,
+                "heap" => QueueBackend::Heap,
+                other => panic!("DSV_QUEUE must be `wheel` or `heap`, got `{other}`"),
+            },
+        })
     }
 }
-impl<E> Eq for Entry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+struct HeapEntry<E>(Entry<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first.
         other
+            .0
             .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
     }
+}
+
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<HeapEntry<E>>),
 }
 
 /// A time-ordered queue of events of type `E` with stable FIFO tie-breaking.
@@ -56,30 +101,61 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     /// The timestamp of the most recently popped event; scheduling into the
     /// past is a logic error and panics (debug builds and release alike —
     /// a causality violation invalidates the whole run).
     watermark: SimTime,
+    /// Pending-event count, tracked here so the schedule fast path never
+    /// has to ask the backend (the wheel's answer would be a second enum
+    /// dispatch per event).
+    len: usize,
+    /// Largest number of simultaneously pending events ever observed —
+    /// the statistic that sizes [`EventQueue::with_capacity`] pre-sizing
+    /// (surfaced per run through `dsv-core`'s `DSV_PROFILE=1` report).
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue using the backend selected by `DSV_QUEUE`
+    /// (the timing wheel unless overridden).
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::from_env())
+    }
+
+    /// Create an empty queue with pre-allocated capacity (backend from
+    /// `DSV_QUEUE`).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_backend_and_capacity(QueueBackend::from_env(), cap)
+    }
+
+    /// Create an empty queue on an explicit backend (tests and benches
+    /// compare backends regardless of the environment).
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Self::with_backend_and_capacity(backend, 0)
+    }
+
+    /// Explicit backend and pre-allocated capacity.
+    pub fn with_backend_and_capacity(backend: QueueBackend, cap: usize) -> Self {
+        let backend = match backend {
+            QueueBackend::Wheel => Backend::Wheel(Wheel::with_capacity(cap)),
+            QueueBackend::Heap => Backend::Heap(BinaryHeap::with_capacity(cap)),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
             watermark: SimTime::ZERO,
+            len: 0,
+            high_water: 0,
         }
     }
 
-    /// Create an empty queue with pre-allocated capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            watermark: SimTime::ZERO,
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Wheel(_) => QueueBackend::Wheel,
+            Backend::Heap(_) => QueueBackend::Heap,
         }
     }
 
@@ -87,39 +163,99 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     /// Panics if `at` is earlier than the last popped event's time — that
-    /// would mean a component tried to rewrite history.
+    /// would mean a component tried to rewrite history. The message names
+    /// both instants (and their difference), because a bare "causality
+    /// violation" is useless when debugging a new qdisc.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.watermark,
-            "causality violation: scheduling at {at} before current time {}",
-            self.watermark
-        );
+        if at < self.watermark {
+            self.causality_panic(at);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let entry = Entry { at, seq, event };
+        match &mut self.backend {
+            Backend::Wheel(w) => w.schedule(entry),
+            Backend::Heap(h) => h.push(HeapEntry(entry)),
+        }
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn causality_panic(&self, at: SimTime) -> ! {
+        panic!(
+            "causality violation: scheduling an event at {at} but the queue \
+             already delivered an event at {} (attempted timestamp is {} \
+             before the watermark; seq of offending schedule: {})",
+            self.watermark,
+            self.watermark - at,
+            self.next_seq,
+        );
     }
 
     /// Remove and return the earliest event together with its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        let entry = match &mut self.backend {
+            Backend::Wheel(w) => w.pop()?,
+            Backend::Heap(h) => h.pop()?.0,
+        };
         debug_assert!(entry.at >= self.watermark);
         self.watermark = entry.at;
+        self.len -= 1;
         Some((entry.at, entry.event))
+    }
+
+    /// Fused `peek_time` + `pop`: remove and return the earliest event iff
+    /// it is scheduled at or before `horizon`. One ordering decision per
+    /// dispatched event instead of two — the dispatch loop's fast path.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match &mut self.backend {
+            Backend::Wheel(w) => {
+                let entry = w.pop_at_or_before(horizon)?;
+                debug_assert!(entry.at >= self.watermark);
+                self.watermark = entry.at;
+                self.len -= 1;
+                Some((entry.at, entry.event))
+            }
+            Backend::Heap(h) => {
+                if h.peek()?.0.at > horizon {
+                    return None;
+                }
+                let entry = h.pop().expect("peeked entry exists").0;
+                debug_assert!(entry.at >= self.watermark);
+                self.watermark = entry.at;
+                self.len -= 1;
+                Some((entry.at, entry.event))
+            }
+        }
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Wheel(w) => w.peek(),
+            Backend::Heap(h) => h.peek().map(|e| e.0.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        debug_assert_eq!(
+            self.len,
+            match &self.backend {
+                Backend::Wheel(w) => w.len(),
+                Backend::Heap(h) => h.len(),
+            }
+        );
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The time of the most recently delivered event (the queue's notion of
@@ -131,6 +267,13 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (diagnostic).
     pub fn scheduled_count(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Largest number of simultaneously pending events ever observed.
+    /// Feed this back into [`EventQueue::with_capacity`] to pre-size the
+    /// queue for a workload; `DSV_PROFILE=1` reports it per batch.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -145,32 +288,41 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Run a test closure against both backends — the ordering contract is
+    /// backend-independent.
+    fn on_both(f: impl Fn(EventQueue<u64>)) {
+        f(EventQueue::with_backend(QueueBackend::Wheel));
+        f(EventQueue::with_backend(QueueBackend::Heap));
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        for i in (0..100u64).rev() {
-            q.schedule(SimTime::from_nanos(i * 10), i);
-        }
-        let mut last = SimTime::ZERO;
-        let mut n = 0;
-        while let Some((t, _)) = q.pop() {
-            assert!(t >= last);
-            last = t;
-            n += 1;
-        }
-        assert_eq!(n, 100);
+        on_both(|mut q| {
+            for i in (0..100u64).rev() {
+                q.schedule(SimTime::from_nanos(i * 10), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut n = 0;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+                n += 1;
+            }
+            assert_eq!(n, 100);
+        });
     }
 
     #[test]
     fn fifo_on_ties() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(5);
-        for i in 0..50 {
-            q.schedule(t, i);
-        }
-        for i in 0..50 {
-            assert_eq!(q.pop().unwrap().1, i);
-        }
+        on_both(|mut q| {
+            let t = SimTime::from_millis(5);
+            for i in 0..50 {
+                q.schedule(t, i);
+            }
+            for i in 0..50 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
+        });
     }
 
     #[test]
@@ -183,37 +335,104 @@ mod tests {
     }
 
     #[test]
+    fn causality_panic_names_both_instants() {
+        let result = std::panic::catch_unwind(|| {
+            let mut q = EventQueue::new();
+            q.schedule(SimTime::from_secs(2), ());
+            q.pop();
+            q.schedule(SimTime::from_millis(500), ());
+        });
+        let msg = *result.unwrap_err().downcast::<String>().expect("panic msg");
+        assert!(msg.contains("2.000000s"), "watermark missing: {msg}");
+        assert!(msg.contains("0.500000s"), "offender missing: {msg}");
+        assert!(msg.contains("1.500000s"), "difference missing: {msg}");
+    }
+
+    #[test]
     fn scheduling_at_now_is_allowed() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(1), 1);
-        q.pop();
-        q.schedule(SimTime::from_secs(1), 2); // same instant: fine
-        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 2)));
+        on_both(|mut q| {
+            q.schedule(SimTime::from_secs(1), 1);
+            q.pop();
+            q.schedule(SimTime::from_secs(1), 2); // same instant: fine
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 2)));
+        });
     }
 
     #[test]
     fn peek_and_now_track_state() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.schedule(SimTime::from_millis(3), "x");
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_millis(3));
-        assert_eq!(q.scheduled_count(), 1);
+        on_both(|mut q| {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.schedule(SimTime::from_millis(3), 7);
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_millis(3));
+            assert_eq!(q.scheduled_count(), 1);
+            assert_eq!(q.high_water(), 1);
+        });
     }
 
     #[test]
     fn interleaved_schedule_pop_is_stable() {
         // Schedule batches while draining; FIFO order must hold per instant.
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        q.schedule(t, 0);
-        q.schedule(t + SimDuration::from_nanos(1), 10);
-        assert_eq!(q.pop().unwrap().1, 0);
-        q.schedule(t + SimDuration::from_nanos(1), 11);
-        assert_eq!(q.pop().unwrap().1, 10);
-        assert_eq!(q.pop().unwrap().1, 11);
+        on_both(|mut q| {
+            let t = SimTime::from_secs(1);
+            q.schedule(t, 0);
+            q.schedule(t + SimDuration::from_nanos(1), 10);
+            assert_eq!(q.pop().unwrap().1, 0);
+            q.schedule(t + SimDuration::from_nanos(1), 11);
+            assert_eq!(q.pop().unwrap().1, 10);
+            assert_eq!(q.pop().unwrap().1, 11);
+        });
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        on_both(|mut q| {
+            q.schedule(SimTime::from_millis(10), 1);
+            q.schedule(SimTime::from_millis(20), 2);
+            let h = SimTime::from_millis(10); // inclusive
+            assert_eq!(q.pop_at_or_before(h), Some((SimTime::from_millis(10), 1)));
+            assert_eq!(q.pop_at_or_before(h), None);
+            assert_eq!(q.len(), 1); // the later event is untouched
+            assert_eq!(
+                q.pop_at_or_before(SimTime::MAX),
+                Some((SimTime::from_millis(20), 2))
+            );
+            assert_eq!(q.pop_at_or_before(SimTime::MAX), None);
+        });
+    }
+
+    #[test]
+    fn high_water_tracks_peak_population() {
+        on_both(|mut q| {
+            for i in 0..32 {
+                q.schedule(SimTime::from_micros(i), i);
+            }
+            for _ in 0..32 {
+                q.pop();
+            }
+            q.schedule(SimTime::from_secs(1), 99);
+            assert_eq!(q.high_water(), 32);
+        });
+    }
+
+    #[test]
+    fn backend_selection_is_explicit() {
+        let q: EventQueue<()> = EventQueue::with_backend(QueueBackend::Heap);
+        assert_eq!(q.backend(), QueueBackend::Heap);
+        let q: EventQueue<()> = EventQueue::with_backend(QueueBackend::Wheel);
+        assert_eq!(q.backend(), QueueBackend::Wheel);
+    }
+
+    #[test]
+    fn max_time_sentinels_are_delivered_last() {
+        on_both(|mut q| {
+            q.schedule(SimTime::MAX, 1); // e.g. arrival over a stalled link
+            q.schedule(SimTime::from_secs(100), 2);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop(), Some((SimTime::MAX, 1)));
+        });
     }
 }

@@ -8,8 +8,6 @@
 //! adaptation loop consumes), and at the end of the run produces a
 //! [`ClientReport`] — the emulated renderer output that feeds `dsv-vqm`.
 
-use std::collections::HashMap;
-
 use dsv_media::decoder::decodable_frames;
 use dsv_media::frame::{EncodedFrame, FrameKind};
 use dsv_net::app::{AppCtx, Application, SendSpec};
@@ -71,7 +69,10 @@ struct FrameAssembly {
 /// The instrumented streaming client application.
 pub struct StreamClient {
     cfg: ClientConfig,
-    assemblies: HashMap<u32, FrameAssembly>,
+    /// Per-frame reassembly state, indexed by display-order frame index
+    /// (UDP mode). A flat vector: the lookup runs once per received media
+    /// packet, and the frame count is known up front.
+    assemblies: Vec<Option<FrameAssembly>>,
     /// TCP receive state (Tcp mode).
     tcp: TcpReceiver,
     tcp_frame_ends: Vec<u64>,
@@ -109,7 +110,7 @@ impl StreamClient {
         let n = cfg.frames as usize;
         StreamClient {
             cfg,
-            assemblies: HashMap::new(),
+            assemblies: std::iter::repeat_with(|| None).take(n).collect(),
             tcp: TcpReceiver::new(),
             tcp_frame_ends,
             tcp_complete_at: vec![None; n],
@@ -144,14 +145,17 @@ impl StreamClient {
         if chunk.repair {
             return;
         }
-        let asm = self
-            .assemblies
-            .entry(chunk.frame_index)
-            .or_insert_with(|| FrameAssembly {
-                chunks_got: vec![false; chunk.chunks_in_frame as usize],
-                complete_at: None,
-                fidelity: chunk.fidelity,
-            });
+        let idx = chunk.frame_index as usize;
+        if idx >= self.assemblies.len() {
+            // A frame index beyond the advertised clip length (defensive;
+            // servers never send one).
+            self.assemblies.resize_with(idx + 1, || None);
+        }
+        let asm = self.assemblies[idx].get_or_insert_with(|| FrameAssembly {
+            chunks_got: vec![false; chunk.chunks_in_frame as usize],
+            complete_at: None,
+            fidelity: chunk.fidelity,
+        });
         if (chunk.chunk as usize) < asm.chunks_got.len() && !asm.chunks_got[chunk.chunk as usize] {
             asm.chunks_got[chunk.chunk as usize] = true;
             if asm.complete_at.is_none() && asm.chunks_got.iter().all(|&g| g) {
@@ -246,12 +250,13 @@ impl StreamClient {
         let mut fidelity = vec![1.0f64; n];
         match &self.cfg.mode {
             ClientMode::Udp => {
-                for (&idx, asm) in &self.assemblies {
+                for (idx, asm) in self.assemblies.iter().enumerate() {
+                    let Some(asm) = asm else { continue };
                     if let Some(t) = asm.complete_at {
-                        if (idx as usize) < n {
-                            received[idx as usize] = true;
-                            arrival[idx as usize] = Some(t);
-                            fidelity[idx as usize] = asm.fidelity;
+                        if idx < n {
+                            received[idx] = true;
+                            arrival[idx] = Some(t);
+                            fidelity[idx] = asm.fidelity;
                         }
                     }
                 }

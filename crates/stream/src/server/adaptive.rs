@@ -24,7 +24,7 @@ use dsv_net::app::{AppCtx, Application, SendSpec};
 use dsv_net::packet::{Dscp, FlowId, NodeId, Packet, Proto};
 use dsv_sim::{SimDuration, SimTime};
 
-use crate::packetize::frame_chunks;
+use crate::packetize::{frame_chunks, ChunkSpec};
 use crate::payload::{ControlMsg, FeedbackReport, MediaChunk, StreamPayload, CONTROL_PACKET_BYTES};
 use crate::server::{read_time, Pacer, TOK_FRAME, TOK_RESUME, TOK_TICK};
 
@@ -107,6 +107,8 @@ pub struct AdaptiveServer {
     /// Boost trajectory: `(time, boost)` samples at each feedback event
     /// (drives the death-spiral ablation plot).
     pub boost_trace: Vec<(SimTime, f64)>,
+    /// Reused per-tick chunk buffer (keeps the tick timer allocation-free).
+    chunk_buf: Vec<ChunkSpec>,
 }
 
 impl AdaptiveServer {
@@ -128,6 +130,7 @@ impl AdaptiveServer {
             seq: 0,
             play_start: None,
             boost: 1.0,
+            chunk_buf: Vec::new(),
             bad_reports: 0,
             paused_until: None,
             collapses: 0,
@@ -224,13 +227,14 @@ impl AdaptiveServer {
         if self.paused_until.is_some() {
             return;
         }
-        let chunks = self.pacer.tick(self.cfg.tick, self.boost);
+        let mut chunks = std::mem::take(&mut self.chunk_buf);
+        self.pacer.tick_into(self.cfg.tick, self.boost, &mut chunks);
         // The boost drains the buffer faster than real time; the surplus
         // slots carry repair packets so the *wire* rate rises by the boost
         // factor, as the paper describes.
         let repair_per_data = self.boost - 1.0;
         let mut repair_credit = 0.0f64;
-        for c in chunks {
+        for &c in chunks.iter() {
             let fidelity = self.tiers[self.tier].frames[c.frame_index as usize].fidelity;
             let seq = self.seq;
             self.seq += 1;
@@ -276,6 +280,7 @@ impl AdaptiveServer {
                 });
             }
         }
+        self.chunk_buf = chunks;
     }
 
     fn done(&self) -> bool {

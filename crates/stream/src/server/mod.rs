@@ -84,15 +84,23 @@ impl Pacer {
     /// adaptive server's compensation overhead): returns the packets to
     /// send now, back-to-back.
     pub fn tick(&mut self, tick: SimDuration, boost: f64) -> Vec<ChunkSpec> {
+        let mut out = Vec::new();
+        self.tick_into(tick, boost, &mut out);
+        out
+    }
+
+    /// [`Pacer::tick`] into a caller-owned buffer (cleared first), so the
+    /// per-tick timer path reuses one allocation for the whole stream.
+    pub fn tick_into(&mut self, tick: SimDuration, boost: f64, out: &mut Vec<ChunkSpec>) {
+        out.clear();
         if self.queue.is_empty() {
             // An empty buffer must not bank credit — otherwise the next
             // frame would blast out at line rate.
             self.allowance = 0.0;
-            return Vec::new();
+            return;
         }
         let rate = self.rate_bps() * boost.max(1.0);
         self.allowance += rate * tick.as_secs_f64() / 8.0;
-        let mut out = Vec::new();
         while let Some(head) = self.queue.front() {
             if (head.wire_bytes as f64) <= self.allowance {
                 self.allowance -= head.wire_bytes as f64;
@@ -105,7 +113,6 @@ impl Pacer {
         // Cap banked credit at one MTU so idle half-ticks don't accumulate
         // into bursts.
         self.allowance = self.allowance.min(1500.0);
-        out
     }
 
     /// Discard everything buffered (adaptive server collapse).

@@ -63,6 +63,10 @@ pub struct PacedServer {
     seq: u64,
     play_start: Option<SimTime>,
     ticking: bool,
+    /// Reused per-tick chunk buffer (the tick timer is the hottest app
+    /// path in the QBone sweeps; draining into a recycled buffer keeps it
+    /// allocation-free).
+    chunk_buf: Vec<crate::packetize::ChunkSpec>,
     /// Total media packets handed to the network (diagnostics).
     pub packets_sent: u64,
 }
@@ -127,6 +131,7 @@ impl PacedServer {
             seq: 0,
             play_start: None,
             ticking: false,
+            chunk_buf: Vec::new(),
             packets_sent: 0,
         }
     }
@@ -157,9 +162,9 @@ impl PacedServer {
     fn send_chunks(
         &mut self,
         ctx: &mut AppCtx<StreamPayload>,
-        chunks: Vec<crate::packetize::ChunkSpec>,
+        chunks: &[crate::packetize::ChunkSpec],
     ) {
-        for c in chunks {
+        for &c in chunks {
             let fidelity = self.frames[c.frame_index as usize].fidelity;
             let seq = self.seq;
             self.seq += 1;
@@ -232,8 +237,10 @@ impl Application<StreamPayload> for PacedServer {
                 }
             }
             TOK_TICK => {
-                let chunks = self.pacer.tick(self.cfg.tick, 1.0);
-                self.send_chunks(ctx, chunks);
+                let mut chunks = std::mem::take(&mut self.chunk_buf);
+                self.pacer.tick_into(self.cfg.tick, 1.0, &mut chunks);
+                self.send_chunks(ctx, &chunks);
+                self.chunk_buf = chunks;
                 if !self.done() {
                     ctx.set_timer(self.cfg.tick, TOK_TICK);
                 } else {

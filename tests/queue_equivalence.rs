@@ -1,0 +1,196 @@
+//! Property-based equivalence: the timing-wheel event queue must deliver
+//! the **exact** sequence of `(time, seq, event)` triples the binary heap
+//! delivers, over arbitrary interleavings of scheduling and dispatch.
+//!
+//! The heap is the ordering oracle (`DSV_QUEUE=heap` keeps it selectable
+//! at runtime); these properties are why the oracle can be trusted to be
+//! redundant: ties broken by schedule order, events scheduled *during*
+//! dispatch, far-future timestamps (up to `SimTime::MAX` sentinels) and
+//! spans that cross every wheel level all round-trip identically.
+
+use dsv_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Drive both backends through the same operation script and assert they
+/// agree on every observable: popped `(time, event)` pairs, `peek_time`,
+/// `len` and `now` after each step.
+///
+/// `ops` entries are `(op_selector, delta_ns)`:
+/// * selector 0–5 → schedule one event `delta_ns` after the current
+///   watermark (six weights so scheduling dominates and queues grow),
+/// * selector 6–7 → pop one event,
+/// * selector 8   → fused `pop_at_or_before(now + delta_ns)`.
+///
+/// Scheduling against `queue.now()` after pops is exactly "scheduling
+/// during dispatch": new events land relative to the delivery watermark,
+/// like a `World::handle` callback would.
+fn check_equivalence(ops: &[(u8, u64)], label: &str) {
+    let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+    let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Heap);
+    let mut next_event: u64 = 0;
+    let mut delivered_w: Vec<(SimTime, u64)> = Vec::new();
+    let mut delivered_h: Vec<(SimTime, u64)> = Vec::new();
+
+    for &(op, delta_ns) in ops {
+        match op {
+            0..=5 => {
+                let at = wheel.now() + SimDuration::from_nanos(delta_ns);
+                wheel.schedule(at, next_event);
+                heap.schedule(at, next_event);
+                next_event += 1;
+            }
+            6 | 7 => {
+                let w = wheel.pop();
+                let h = heap.pop();
+                prop_assert_eq!(w, h, "{}: pop mismatch", label);
+                if let Some(pair) = w {
+                    delivered_w.push(pair);
+                }
+                if let Some(pair) = h {
+                    delivered_h.push(pair);
+                }
+            }
+            _ => {
+                let horizon = wheel.now() + SimDuration::from_nanos(delta_ns);
+                let w = wheel.pop_at_or_before(horizon);
+                let h = heap.pop_at_or_before(horizon);
+                prop_assert_eq!(w, h, "{}: pop_at_or_before mismatch", label);
+                if let Some((at, _)) = w {
+                    prop_assert!(at <= horizon, "{}: horizon violated", label);
+                }
+                if let Some(pair) = w {
+                    delivered_w.push(pair);
+                }
+                if let Some(pair) = h {
+                    delivered_h.push(pair);
+                }
+            }
+        }
+        prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "{}: peek", label);
+        prop_assert_eq!(wheel.len(), heap.len(), "{}: len", label);
+        prop_assert_eq!(wheel.now(), heap.now(), "{}: now", label);
+    }
+
+    // Drain both completely; the tails must agree too.
+    loop {
+        let w = wheel.pop();
+        let h = heap.pop();
+        prop_assert_eq!(w, h, "{}: drain mismatch", label);
+        match w {
+            Some(pair) => {
+                delivered_w.push(pair);
+                delivered_h.push(h.unwrap());
+            }
+            None => break,
+        }
+    }
+    prop_assert_eq!(
+        &delivered_w,
+        &delivered_h,
+        "{}: full sequences differ",
+        label
+    );
+
+    // Delivery is totally ordered by time, and the event ids of equal-time
+    // runs are ascending — FIFO tie-breaking by schedule order.
+    for pair in delivered_w.windows(2) {
+        prop_assert!(pair[0].0 <= pair[1].0, "{}: time went backwards", label);
+        if pair[0].0 == pair[1].0 {
+            prop_assert!(
+                pair[0].1 < pair[1].1,
+                "{}: tie at {} broke schedule order",
+                label,
+                pair[0].0
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Near-future traffic with heavy ties: deltas span only a few wheel
+    /// ticks (the tick is 2.048 µs), so many events collapse onto the same
+    /// slot and many onto the same nanosecond.
+    #[test]
+    fn wheel_matches_heap_with_ties(
+        ops in prop::collection::vec((0u8..9, 0u64..8_192), 1..400),
+    ) {
+        check_equivalence(&ops, "ties");
+    }
+
+    /// The simulator's real shape: mostly near-future (per-packet) deltas
+    /// with occasional far jumps (timeouts, session ends) that cascade
+    /// across upper wheel levels.
+    #[test]
+    fn wheel_matches_heap_bimodal(
+        ops in prop::collection::vec((0u8..9, 0u64..40_000_000_000), 1..300),
+    ) {
+        check_equivalence(&ops, "bimodal");
+    }
+
+    /// Spans that cross *every* level boundary: deltas up to ~2^63 ns push
+    /// entries into the top wheel levels and exercise multi-level cascades
+    /// on the way back down.
+    #[test]
+    fn wheel_matches_heap_overflow_spans(
+        ops in prop::collection::vec((0u8..9, 0u64..9_000_000_000_000_000_000), 1..150),
+    ) {
+        check_equivalence(&ops, "overflow-spans");
+    }
+}
+
+/// `SimTime::MAX` sentinels (zero-rate links park events there) must sort
+/// after everything else on both backends and still tie-break FIFO.
+#[test]
+fn max_time_sentinels_agree() {
+    let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+    let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Heap);
+    for (at, ev) in [
+        (SimTime::MAX, 0),
+        (SimTime::from_secs(5), 1),
+        (SimTime::MAX, 2),
+        (SimTime::ZERO, 3),
+    ] {
+        wheel.schedule(at, ev);
+        heap.schedule(at, ev);
+    }
+    let mut got = Vec::new();
+    loop {
+        let w = wheel.pop();
+        assert_eq!(w, heap.pop());
+        match w {
+            Some(pair) => got.push(pair),
+            None => break,
+        }
+    }
+    assert_eq!(
+        got,
+        vec![
+            (SimTime::ZERO, 3),
+            (SimTime::from_secs(5), 1),
+            (SimTime::MAX, 0),
+            (SimTime::MAX, 2),
+        ]
+    );
+}
+
+/// A far-future horizon releases everything; a past horizon releases
+/// nothing — on both backends.
+#[test]
+fn horizon_extremes_agree() {
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+        q.schedule(SimTime::from_secs(10), 1);
+        q.schedule(SimTime::from_secs(20), 2);
+        assert_eq!(q.pop_at_or_before(SimTime::from_secs(9)), None);
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::MAX),
+            Some((SimTime::from_secs(10), 1))
+        );
+        assert_eq!(
+            q.pop_at_or_before(SimTime::MAX),
+            Some((SimTime::from_secs(20), 2))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::MAX), None);
+    }
+}
