@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # The full local CI gate: build, tests, formatting, lints.
 # Run from anywhere; everything executes at the repository root.
+#
+#   ./ci.sh           the default gate (includes an audit smoke stage)
+#   ./ci.sh --audit   additionally runs the full audited matrix: the
+#                     audit-feature test suites and the committed figure
+#                     sweeps under DSV_AUDIT=1, on both event-queue
+#                     backends, with the result cache off (cache hits
+#                     skip simulation, which would skip the audits too).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+AUDIT=0
+for arg in "$@"; do
+  case "$arg" in
+    --audit) AUDIT=1 ;;
+    *) echo "ci.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -13,13 +28,43 @@ cargo test -q --workspace
 echo "==> cargo test -q (DSV_QUEUE=heap: binary-heap event-queue backend)"
 DSV_QUEUE=heap cargo test -q --workspace
 
+echo "==> audit smoke (oracle self-tests, wheel backend)"
+cargo test -q -p dsv-check --features dsv-check/audit
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -D warnings (audit feature)"
+cargo clippy -p dsv-check -p dsv-integration -p dsv-bench --all-targets \
+  --features dsv-check/audit,dsv-integration/audit,dsv-bench/audit -- -D warnings
+
 echo "==> runner_bench smoke (tiny grid, temp output)"
 DSV_BENCH_SMOKE=1 DSV_CACHE=off ./target/release/runner_bench
+
+if [[ "$AUDIT" == 1 ]]; then
+  echo "==> audit build"
+  cargo build --release -p dsv-bench --features dsv-bench/audit
+
+  for backend in wheel heap; do
+    echo "==> audited test suites (DSV_QUEUE=$backend)"
+    DSV_AUDIT=1 DSV_QUEUE=$backend cargo test -q \
+      -p dsv-check -p dsv-integration \
+      --features dsv-check/audit,dsv-integration/audit
+
+    echo "==> audited figure sweeps (DSV_QUEUE=$backend, cache off)"
+    DSV_AUDIT=1 DSV_QUEUE=$backend DSV_CACHE=off DSV_BENCH_SMOKE=1 \
+      cargo run --release -q -p dsv-bench --features dsv-bench/audit \
+      --bin runner_bench
+    DSV_AUDIT=1 DSV_QUEUE=$backend DSV_CACHE=off \
+      cargo run --release -q -p dsv-bench --features dsv-bench/audit \
+      --bin fig07_qbone_lost
+  done
+
+  echo "==> audited figures byte-identical to committed results"
+  git diff --exit-code -- results/
+fi
 
 echo "==> ci: all green"

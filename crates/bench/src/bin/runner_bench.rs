@@ -178,9 +178,96 @@ fn main() {
         .expect("write smoke report");
         println!("[smoke report written {}]", path.display());
         let _ = std::fs::remove_file(&path);
+    } else if cfg!(feature = "audit") {
+        // The committed BENCH_sweep baseline is measured on the default
+        // (audit-free) build; an audit build must not rewrite it.
+        println!("[audit build: BENCH_sweep baseline left untouched]");
     } else {
         dsv_bench::emit_json("BENCH_sweep", &report);
     }
 
+    #[cfg(feature = "audit")]
+    audit_overhead(&base, &rates, &depths, points, label, &json_shared, smoke);
+
     let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// Overhead report for the audit oracles: the same serial shared sweep
+/// with the runtime switch disarmed and armed. The disarmed run prices
+/// the compiled-in hooks (one relaxed atomic load per event); the armed
+/// run prices the full ledger. Both must reproduce the baseline output
+/// byte for byte — the oracles are observers.
+#[cfg(feature = "audit")]
+fn audit_overhead(
+    base: &QboneConfig,
+    rates: &[u64],
+    depths: &[u32],
+    points: usize,
+    label: &str,
+    baseline_json: &str,
+    smoke: bool,
+) {
+    #[derive(Serialize)]
+    struct AuditBenchReport {
+        grid_points: usize,
+        disarmed_secs: f64,
+        armed_secs: f64,
+        disarmed_event_rate_per_sec: f64,
+        armed_event_rate_per_sec: f64,
+        /// armed wall time over disarmed (1.0 = free).
+        armed_overhead_ratio: f64,
+        byte_identical: bool,
+    }
+
+    println!("\naudit overhead (serial, shared artifacts, no result cache):");
+    let time = |armed: bool| -> (f64, f64, String) {
+        dsv_sim::audit::set_enabled_for_process(Some(armed));
+        let before = profile::snapshot();
+        let t0 = Instant::now();
+        let sweep = Runner::serial().qbone_sweep(base, rates, depths, label);
+        let dt = t0.elapsed().as_secs_f64();
+        let rate = profile::snapshot().since(&before).event_rate_per_sec();
+        dsv_sim::audit::set_enabled_for_process(None);
+        println!(
+            "  {:<10} {dt:7.2} s  ({:.2} pts/s, {:.2} M ev/s)",
+            if armed { "armed" } else { "disarmed" },
+            points as f64 / dt.max(1e-9),
+            rate / 1e6,
+        );
+        (dt, rate, serde_json::to_string(&sweep).expect("serialize"))
+    };
+    let (off_secs, off_rate, off_json) = time(false);
+    let (on_secs, on_rate, on_json) = time(true);
+    assert_eq!(
+        baseline_json, &off_json,
+        "disarmed audit build must match the baseline output"
+    );
+    assert_eq!(&off_json, &on_json, "armed audits must not change results");
+    println!(
+        "  armed/disarmed ratio:  {:.2}× (outputs byte-identical ✓)",
+        on_secs / off_secs
+    );
+
+    let report = AuditBenchReport {
+        grid_points: points,
+        disarmed_secs: off_secs,
+        armed_secs: on_secs,
+        disarmed_event_rate_per_sec: off_rate,
+        armed_event_rate_per_sec: on_rate,
+        armed_overhead_ratio: on_secs / off_secs,
+        byte_identical: true,
+    };
+    if smoke {
+        let path =
+            std::env::temp_dir().join(format!("BENCH_audit-smoke-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write smoke report");
+        println!("[smoke audit report written {}]", path.display());
+        let _ = std::fs::remove_file(&path);
+    } else {
+        dsv_bench::emit_json("BENCH_audit", &report);
+    }
 }

@@ -1,0 +1,26 @@
+//! # dsv-check — the verification harness
+//!
+//! Everything the reproduction uses to check *itself*: deterministic
+//! fault injection ([`fault`]) and small reference scenarios
+//! ([`scenario`]) that the audit self-tests run faults through.
+//!
+//! The design is mutation-testing in miniature. The audit oracles in
+//! `dsv-net::audit` claim to catch packet-conservation, FIFO, causality,
+//! integrity and token-bucket-conformance violations; an oracle that is
+//! never seen to fire proves nothing. The [`fault::FaultPlan`] therefore
+//! injects one violation of each class into an otherwise healthy
+//! simulation — swallowing, duplicating, reordering, resizing or
+//! clock-skewing packets at a named tap — and the self-tests in
+//! `tests/fault_injection.rs` assert that exactly the matching oracle
+//! fires, and that *no* oracle fires when no fault is planted.
+//!
+//! Faults are also how the streaming client's robustness is exercised:
+//! a [`fault::FaultKind::Delay`] hold is invisible to the oracles (order
+//! and conservation are preserved) but stresses the playback buffer the
+//! same way real-network jitter does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod scenario;

@@ -1,0 +1,404 @@
+//! Reference scenarios the self-tests inject faults into.
+//!
+//! Two fixtures cover the fault matrix:
+//!
+//! * [`run_policer_chain`] — a constant-rate source through one policed
+//!   router into a recording sink. Small, fast, and fully parameterised
+//!   (rates, link speed, queue backend), it is where the oracle
+//!   self-tests and the metamorphic time-dilation property run.
+//! * [`run_stream_chain`] — a real paced video server and streaming
+//!   client across a faultable router, for playback-robustness checks.
+//!
+//! Both take an explicit [`QueueBackend`] so differential tests can run
+//! the wheel and the heap in the same process, and both arm the audit
+//! oracles whenever the `audit` feature is compiled in *and* auditing is
+//! runtime-enabled.
+
+use dsv_media::encoder::mpeg1;
+use dsv_media::scene::ClipId;
+use dsv_net::app::{AppCtx, Application, SendSpec, Shared};
+use dsv_net::link::Link;
+use dsv_net::network::{NetworkBuilder, Simulation};
+use dsv_net::packet::{Dscp, FlowId, NodeId, Packet, Proto};
+use dsv_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
+use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
+use dsv_stream::payload::StreamPayload;
+use dsv_stream::playback::PlaybackConfig;
+use dsv_stream::server::paced::{PacedConfig, PacedServer};
+
+use dsv_diffserv::classifier::MatchRule;
+use dsv_diffserv::policer::Policer;
+use dsv_diffserv::policy::{PolicyAction, PolicyTable};
+
+use crate::fault::FaultPlan;
+
+#[cfg(feature = "audit")]
+use dsv_net::audit::AuditReport;
+
+/// Flow id of the chain scenarios' traffic.
+pub const CHAIN_FLOW: FlowId = FlowId(1);
+
+/// Name of the faultable conditioner tap in both scenarios.
+pub const TAP: &str = "ingress";
+
+/// Parameters of the policer-chain scenario.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Packets the source offers.
+    pub packets: u32,
+    /// Wire size of each packet, bytes.
+    pub size: u32,
+    /// Inter-packet gap at the source.
+    pub gap: SimDuration,
+    /// Token rate of the policer at the tap router, bps.
+    pub rate_bps: u64,
+    /// Bucket depth of the policer, bytes.
+    pub depth_bytes: u32,
+    /// Rate of both links, bps.
+    pub link_bps: u64,
+    /// Propagation delay of both links.
+    pub prop: SimDuration,
+    /// Event-queue backend to run under.
+    pub backend: QueueBackend,
+    /// Faults to plant at the [`TAP`].
+    pub plan: FaultPlan,
+}
+
+impl Default for ChainConfig {
+    /// A generously policed chain: 12 Mbps offered against a 20 Mbps
+    /// token rate, so every packet passes and a clean run is violation-
+    /// free. Tests that want policer drops lower `rate_bps`.
+    fn default() -> ChainConfig {
+        ChainConfig {
+            packets: 200,
+            size: 1500,
+            gap: SimDuration::from_millis(1),
+            rate_bps: 20_000_000,
+            depth_bytes: 4500,
+            link_bps: 100_000_000,
+            prop: SimDuration::from_micros(50),
+            backend: QueueBackend::Wheel,
+            plan: FaultPlan::none(),
+        }
+    }
+}
+
+impl ChainConfig {
+    /// The same experiment dilated by `k`: all rates divided and all
+    /// durations multiplied, so every timestamp scales by exactly `k`
+    /// and every per-packet decision must be identical — the metamorphic
+    /// time-dilation property. `rate_bps` and `link_bps` must be
+    /// divisible by `k` for the scaling to be exact in integer time.
+    pub fn dilated(&self, k: u64) -> ChainConfig {
+        assert!(k > 0 && self.rate_bps % k == 0 && self.link_bps % k == 0);
+        let mut cfg = self.clone();
+        cfg.gap = scale(self.gap, k);
+        cfg.prop = scale(self.prop, k);
+        cfg.rate_bps = self.rate_bps / k;
+        cfg.link_bps = self.link_bps / k;
+        cfg
+    }
+}
+
+fn scale(d: SimDuration, k: u64) -> SimDuration {
+    SimDuration::from_nanos(d.as_nanos() * k)
+}
+
+/// What the policer chain produced.
+#[derive(Debug)]
+pub struct ChainOutcome {
+    /// Packets the source handed to the network.
+    pub tx: u64,
+    /// Packets the sink received.
+    pub rx: u64,
+    /// Packets the policer discarded.
+    pub drops: u64,
+    /// Delivered packet ids, in arrival order at the sink.
+    pub delivered_ids: Vec<u64>,
+    /// End-of-run simulation time.
+    pub end_time: SimTime,
+    /// Events dispatched.
+    pub dispatched: u64,
+    /// The audit's verdict, when compiled in and runtime-enabled.
+    #[cfg(feature = "audit")]
+    pub audit: Option<AuditReport>,
+}
+
+impl ChainOutcome {
+    /// Fraction of offered packets that never reached the sink.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.tx == 0 {
+            0.0
+        } else {
+            1.0 - self.rx as f64 / self.tx as f64
+        }
+    }
+}
+
+/// A constant-rate source (mirrors the network tests' `Blaster`).
+struct Pump {
+    dst: NodeId,
+    count: u32,
+    size: u32,
+    gap: SimDuration,
+    sent: u32,
+}
+
+impl Application<()> for Pump {
+    fn on_start(&mut self, ctx: &mut AppCtx<()>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_packet(&mut self, _ctx: &mut AppCtx<()>, _pkt: Packet<()>) {}
+    fn on_timer(&mut self, ctx: &mut AppCtx<()>, _token: u64) {
+        if self.sent < self.count {
+            self.sent += 1;
+            ctx.send(SendSpec {
+                dst: self.dst,
+                flow: CHAIN_FLOW,
+                size: self.size,
+                dscp: Dscp::BEST_EFFORT,
+                proto: Proto::Udp,
+                fragment: None,
+                payload: (),
+            });
+            ctx.set_timer(self.gap, 0);
+        }
+    }
+}
+
+/// Records delivered packet ids in arrival order.
+#[derive(Default)]
+struct IdSink {
+    ids: Vec<u64>,
+}
+
+impl Application<()> for IdSink {
+    fn on_start(&mut self, _ctx: &mut AppCtx<()>) {}
+    fn on_packet(&mut self, _ctx: &mut AppCtx<()>, pkt: Packet<()>) {
+        self.ids.push(pkt.id.0);
+    }
+    fn on_timer(&mut self, _ctx: &mut AppCtx<()>, _token: u64) {}
+}
+
+/// Run the policer chain to completion and collect the outcome.
+pub fn run_policer_chain(cfg: &ChainConfig) -> ChainOutcome {
+    let mut b = NetworkBuilder::<()>::new();
+    let (sink_handle, sink_app) = Shared::new(IdSink::default());
+    let rx = b.add_host("rx", Box::new(sink_app));
+    let tap = b.add_router("tap");
+    let tx = b.add_host(
+        "tx",
+        Box::new(Pump {
+            dst: rx,
+            count: cfg.packets,
+            size: cfg.size,
+            gap: cfg.gap,
+            sent: 0,
+        }),
+    );
+    let link = Link::new(cfg.link_bps, cfg.prop);
+    b.connect(tx, tap, link);
+    b.connect(tap, rx, link);
+
+    let table = PolicyTable::new().with(
+        MatchRule {
+            flow: Some(CHAIN_FLOW),
+            ..MatchRule::ANY
+        },
+        PolicyAction::Police(Policer::car_drop(cfg.rate_bps, cfg.depth_bytes)),
+    );
+    b.set_conditioner(tap, cfg.plan.wrap(TAP, Box::new(table)));
+
+    let net = b.build();
+    let mut queue = EventQueue::with_backend(cfg.backend);
+    net.schedule_starts(&mut queue);
+    let mut sim = Simulation { net, queue };
+
+    #[cfg(feature = "audit")]
+    let audited = {
+        let on = sim.net.audit().enabled();
+        if on {
+            sim.net.audit_mut().register_conformance_bound(
+                tap,
+                CHAIN_FLOW,
+                cfg.rate_bps,
+                cfg.depth_bytes,
+            );
+        }
+        on
+    };
+
+    let stats = sim.run();
+
+    #[cfg(feature = "audit")]
+    let audit = audited.then(|| {
+        sim.net.audit_finish();
+        sim.net.audit().report()
+    });
+
+    let flow = sim.net.stats.flow(CHAIN_FLOW);
+    let delivered_ids = sink_handle.borrow().ids.clone();
+    ChainOutcome {
+        tx: flow.tx_packets,
+        rx: flow.rx_packets,
+        drops: flow.total_drops(),
+        delivered_ids,
+        end_time: stats.end_time,
+        dispatched: stats.dispatched,
+        #[cfg(feature = "audit")]
+        audit,
+    }
+}
+
+/// Parameters of the streaming scenario.
+#[derive(Debug, Clone)]
+pub struct StreamChainConfig {
+    /// Clip to stream (MPEG-1 CBR).
+    pub clip: ClipId,
+    /// Encoding rate, bps.
+    pub encoding_bps: u64,
+    /// Event-queue backend.
+    pub backend: QueueBackend,
+    /// Faults to plant at the router [`TAP`].
+    pub plan: FaultPlan,
+}
+
+impl Default for StreamChainConfig {
+    fn default() -> StreamChainConfig {
+        StreamChainConfig {
+            clip: ClipId::Lost,
+            encoding_bps: 1_500_000,
+            backend: QueueBackend::Wheel,
+            plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// What the streaming chain produced.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Fraction of frames that never became decodable at the client.
+    pub frame_loss: f64,
+    /// Presentation slots the playback model filled.
+    pub displayed: usize,
+    /// Longest run of consecutive frozen (repeated) slots.
+    pub longest_freeze: usize,
+    /// Whether playback failed outright.
+    pub total_failure: bool,
+    /// Media packets delivered.
+    pub rx_packets: u64,
+    /// The audit's verdict, when compiled in and runtime-enabled.
+    #[cfg(feature = "audit")]
+    pub audit: Option<AuditReport>,
+}
+
+/// Stream a real clip through a faultable router and report how the
+/// client's playback model coped.
+pub fn run_stream_chain(cfg: &StreamChainConfig) -> StreamOutcome {
+    let clip = dsv_core::artifacts::encoding(
+        cfg.clip,
+        dsv_core::artifacts::Codec::Mpeg1,
+        cfg.encoding_bps,
+    );
+
+    let mut b = NetworkBuilder::<StreamPayload>::new();
+    let server_id = NodeId(2);
+    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
+        server: server_id,
+        up_flow: FlowId(2),
+        frames: clip.frames.len() as u32,
+        kind_fn: mpeg1::frame_kind,
+        playback: PlaybackConfig::default(),
+        feedback_interval: None,
+        mode: ClientMode::Udp,
+    }));
+    let client = b.add_host("client", Box::new(client_app));
+    let tap = b.add_router("tap");
+    let server = b.add_host(
+        "server",
+        Box::new(PacedServer::new(
+            PacedConfig::new(client, CHAIN_FLOW, Dscp::BEST_EFFORT),
+            &clip,
+        )),
+    );
+    assert_eq!(server, server_id, "node creation order changed");
+    b.connect(server, tap, Link::fast_ethernet());
+    b.connect(client, tap, Link::fast_ethernet());
+
+    b.set_conditioner(
+        tap,
+        cfg.plan
+            .wrap(TAP, Box::new(dsv_net::conditioner::PassThrough)),
+    );
+
+    let net = b.build();
+    let mut queue = EventQueue::with_backend(cfg.backend);
+    net.schedule_starts(&mut queue);
+    let mut sim = Simulation { net, queue };
+
+    #[cfg(feature = "audit")]
+    let audited = sim.net.audit().enabled();
+
+    sim.run_until(SimTime::ZERO + dsv_core::experiment::run_horizon(cfg.clip));
+
+    #[cfg(feature = "audit")]
+    let audit = audited.then(|| {
+        sim.net.audit_finish();
+        sim.net.audit().report()
+    });
+
+    let report = client_handle.borrow().report();
+    let flow = sim.net.stats.flow(CHAIN_FLOW);
+    StreamOutcome {
+        frame_loss: report.frame_loss_fraction(),
+        displayed: report.playback.displayed.len(),
+        longest_freeze: report.playback.longest_freeze,
+        total_failure: report.playback.total_failure,
+        rx_packets: flow.rx_packets,
+        #[cfg(feature = "audit")]
+        audit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_chain_delivers_everything() {
+        let out = run_policer_chain(&ChainConfig::default());
+        assert_eq!(out.tx, 200);
+        assert_eq!(out.rx, 200);
+        assert_eq!(out.drops, 0);
+        assert_eq!(out.delivered_ids.len(), 200);
+        // FIFO path: ids arrive in send order.
+        assert!(out.delivered_ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn starved_chain_drops_at_the_policer() {
+        let cfg = ChainConfig {
+            rate_bps: 2_000_000, // offered 12 Mbps
+            depth_bytes: 3000,
+            ..ChainConfig::default()
+        };
+        let out = run_policer_chain(&cfg);
+        assert!(out.drops > 0, "expected policer drops");
+        assert_eq!(out.rx + out.drops, out.tx);
+    }
+
+    #[test]
+    fn backends_agree_on_the_chain() {
+        let wheel = run_policer_chain(&ChainConfig {
+            rate_bps: 2_000_000,
+            ..ChainConfig::default()
+        });
+        let heap = run_policer_chain(&ChainConfig {
+            rate_bps: 2_000_000,
+            backend: QueueBackend::Heap,
+            ..ChainConfig::default()
+        });
+        assert_eq!(wheel.delivered_ids, heap.delivered_ids);
+        assert_eq!(wheel.end_time, heap.end_time);
+    }
+}

@@ -177,10 +177,14 @@ pub fn run_af(cfg: &AfConfig) -> RunOutcome {
     }
 
     let mut sim = Simulation::new(b.build());
+    // Under `DSV_AUDIT=1`: lifecycle oracles only — the srTCM meter colors
+    // but never drops, so there is no admission bound to register.
+    crate::auditing::arm(&mut sim, &[]);
     let t_sim = Instant::now();
     let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id));
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
     profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
+    crate::auditing::finish(&mut sim, "af run");
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);

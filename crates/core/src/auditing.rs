@@ -1,0 +1,51 @@
+//! Audit wiring for the experiment entry points.
+//!
+//! Each testbed run (`run_qbone`, `run_local`, `run_af`) calls [`arm`]
+//! right after building its [`Simulation`] — registering the analytic
+//! token-bucket bounds of its policers/shapers — and [`finish`] right
+//! after the run, which closes the end-of-run conservation equations and
+//! panics with the full violation list if any oracle fired.
+//!
+//! Both functions are unconditional no-ops when the `audit` feature is
+//! compiled out, and cheap no-ops when `DSV_AUDIT` is not enabled, so the
+//! entry points carry no `cfg` noise and the hot path no cost.
+
+use dsv_net::network::Simulation;
+use dsv_net::packet::{FlowId, NodeId};
+
+/// One analytic admission bound: traffic of `flow` leaving `node` must
+/// satisfy `admitted_bytes · 8 ≤ depth_bytes · 8 + rate_bps · t`.
+pub type Bound = (NodeId, FlowId, u64, u32);
+
+/// Arm the run's audit observer (if `DSV_AUDIT` is on) and register the
+/// token-bucket conformance bounds this topology promises to respect.
+#[cfg(feature = "audit")]
+pub fn arm<P: 'static>(sim: &mut Simulation<P>, bounds: &[Bound]) {
+    if !dsv_net::audit::runtime_enabled() {
+        return;
+    }
+    let audit = sim.net.audit_mut();
+    audit.enable();
+    for &(node, flow, rate_bps, depth_bytes) in bounds {
+        audit.register_conformance_bound(node, flow, rate_bps, depth_bytes);
+    }
+}
+
+/// No-op: audits compiled out.
+#[cfg(not(feature = "audit"))]
+pub fn arm<P: 'static>(_sim: &mut Simulation<P>, _bounds: &[Bound]) {}
+
+/// Close the audit's conservation equations and panic (with the recorded
+/// violation list) if any invariant was broken during the run.
+#[cfg(feature = "audit")]
+pub fn finish<P: 'static>(sim: &mut Simulation<P>, label: &str) {
+    if !sim.net.audit().enabled() {
+        return;
+    }
+    sim.net.audit_finish();
+    sim.net.audit().report().assert_clean(label);
+}
+
+/// No-op: audits compiled out.
+#[cfg(not(feature = "audit"))]
+pub fn finish<P: 'static>(_sim: &mut Simulation<P>, _label: &str) {}

@@ -25,7 +25,9 @@
 pub mod af;
 pub mod analysis;
 pub mod artifacts;
+pub mod auditing;
 pub mod experiment;
+pub mod golden;
 pub mod local;
 pub mod profile;
 pub mod qbone;
@@ -44,6 +46,7 @@ pub mod prelude {
         encoded_features, received_features, received_features_from, run_horizon, score_run,
         score_run_shared, EfProfile, RunOutcome, DEPTH_2MTU, DEPTH_3MTU,
     };
+    pub use crate::golden::{golden_local_sweep, golden_outcomes, golden_qbone_sweep};
     pub use crate::local::{run_local, run_local_detailed, LocalConfig, LocalTransport};
     pub use crate::profile::ProfileSnapshot;
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};

@@ -241,10 +241,30 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
     }
 
     let mut sim = Simulation::new(b.build());
+    // Under `DSV_AUDIT=1`: lifecycle oracles plus the EF policer's
+    // admission bound at router 1 — and, when shaping, the same bound at
+    // the Linux workstation's egress (a conformant shaper must respect
+    // the very profile it shapes to).
+    let mut bounds = vec![(
+        r1,
+        MEDIA_FLOW,
+        cfg.profile.token_rate_bps,
+        cfg.profile.bucket_depth_bytes,
+    )];
+    if cfg.shaped {
+        bounds.push((
+            linux,
+            MEDIA_FLOW,
+            cfg.profile.token_rate_bps,
+            cfg.profile.bucket_depth_bytes,
+        ));
+    }
+    crate::auditing::arm(&mut sim, &bounds);
     let t_sim = Instant::now();
     let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id) + SimDuration::from_secs(30));
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
     profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
+    crate::auditing::finish(&mut sim, "local run");
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);

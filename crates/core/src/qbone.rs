@@ -242,10 +242,22 @@ pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client:
     }
 
     let mut sim = Simulation::new(b.build());
+    // Under `DSV_AUDIT=1`: check every lifecycle invariant online, plus
+    // the CAR policer's admission bound at the remote border.
+    crate::auditing::arm(
+        &mut sim,
+        &[(
+            remote_edge,
+            MEDIA_FLOW,
+            cfg.profile.token_rate_bps,
+            cfg.profile.bucket_depth_bytes,
+        )],
+    );
     let t_sim = Instant::now();
     let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id));
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
     profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
+    crate::auditing::finish(&mut sim, "qbone run");
 
     let report = client_handle.borrow().report();
     let media = sim.net.stats.flow(MEDIA_FLOW);

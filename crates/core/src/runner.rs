@@ -70,7 +70,7 @@ impl Job {
     }
 
     /// Canonical JSON of the configuration; the content being addressed.
-    fn config_json(&self) -> String {
+    pub(crate) fn config_json(&self) -> String {
         match self {
             Job::Qbone(cfg) => serde_json::to_string(cfg),
             Job::Local(cfg) => serde_json::to_string(cfg),
@@ -91,7 +91,7 @@ impl Job {
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
 /// exactly what a content-addressed filename needs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

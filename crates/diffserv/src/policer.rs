@@ -90,7 +90,30 @@ impl Policer {
     /// Apply the policer to a borrowed packet, re-marking it in place.
     /// Returns `true` to forward, `false` to drop.
     pub fn police_in_place<P>(&mut self, now: SimTime, pkt: &mut Packet<P>) -> bool {
-        if self.bucket.try_consume(now, pkt.size) {
+        // Audit oracle: `conformance_time` is the analytic twin of
+        // `try_consume` — a packet is conformant right now iff its
+        // conformance time is `now`. Cross-check the two on every policed
+        // packet so the incremental integer bucket can never drift from
+        // the closed-form answer. (`conformance_time` only refills, which
+        // is idempotent at a fixed `now`, so asking first is side-effect
+        // free with respect to the consume below.)
+        #[cfg(feature = "audit")]
+        let predicted = if dsv_sim::audit::runtime_enabled() {
+            Some(self.bucket.conformance_time(now, pkt.size) == Some(now))
+        } else {
+            None
+        };
+        let conformant = self.bucket.try_consume(now, pkt.size);
+        #[cfg(feature = "audit")]
+        if let Some(predicted) = predicted {
+            assert_eq!(
+                conformant, predicted,
+                "audit: token-bucket conformance_time and try_consume disagree \
+                 for a {}-byte packet at {now:?}",
+                pkt.size
+            );
+        }
+        if conformant {
             self.conformant += 1;
             if let Some(mark) = self.conform_mark {
                 pkt.dscp = mark;

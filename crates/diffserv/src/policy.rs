@@ -184,6 +184,16 @@ impl<P> Conditioner<P> for PolicyTable<P> {
         }
         Released { packets, next_poll }
     }
+
+    fn held(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|rule| match &rule.action {
+                PolicyAction::Shape(s) => s.queue_len(),
+                _ => 0,
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

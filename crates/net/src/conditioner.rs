@@ -89,6 +89,14 @@ pub trait Conditioner<P> {
     /// [`ConditionOutcome::Absorbed`] or [`Released::next_poll`] asked for
     /// it, but implementations must tolerate spurious polls.
     fn release(&mut self, now: SimTime) -> Released<P>;
+
+    /// Number of packets currently absorbed (shaping backlog). Pure
+    /// accounting — the audit oracles use it to close the end-of-run
+    /// packet-conservation equation; conditioners that never absorb keep
+    /// the default.
+    fn held(&self) -> usize {
+        0
+    }
 }
 
 /// A conditioner that passes everything through untouched (routers without

@@ -44,6 +44,8 @@
 #![warn(missing_docs)]
 
 pub mod app;
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod conditioner;
 pub mod frame_relay;
 pub mod histogram;

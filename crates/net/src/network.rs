@@ -18,6 +18,8 @@ use std::collections::VecDeque;
 use dsv_sim::{EventQueue, SimDuration, SimTime, World};
 
 use crate::app::{AppCommand, AppCtx, Application};
+#[cfg(feature = "audit")]
+use crate::audit::SimAudit;
 use crate::conditioner::{ConditionOutcome, Conditioner, QuickVerdict};
 use crate::link::Link;
 use crate::packet::{DropReason, NodeId, Packet, PacketId, PortId};
@@ -293,6 +295,8 @@ impl<P: 'static> NetworkBuilder<P> {
             // pre-size so the pool never reallocates mid-run.
             pool: PacketPool::with_capacity(64),
             cmd_buf: Vec::with_capacity(8),
+            #[cfg(feature = "audit")]
+            audit: SimAudit::new(node_count),
         }
     }
 }
@@ -326,6 +330,10 @@ pub struct Network<P> {
     /// Reusable application command buffer: one allocation for the whole
     /// run instead of one per callback that issues commands.
     cmd_buf: Vec<AppCommand<P>>,
+    /// Online invariant checker (armed by `DSV_AUDIT=1`; see
+    /// [`crate::audit`]). Absent entirely when the feature is compiled out.
+    #[cfg(feature = "audit")]
+    audit: SimAudit,
 }
 
 impl<P: 'static> Network<P> {
@@ -398,6 +406,8 @@ impl<P: 'static> Network<P> {
                         payload: spec.payload,
                     };
                     self.stats.on_sent(now, pkt.flow, pkt.id, pkt.size, node);
+                    #[cfg(feature = "audit")]
+                    self.audit.on_sent(pkt.flow, pkt.id, pkt.size, node);
                     // Hosts have exactly one port (asserted at build).
                     self.enqueue_on_port(now, node, PortId(0), pkt, queue);
                 }
@@ -424,6 +434,8 @@ impl<P: 'static> Network<P> {
             None => {
                 self.stats
                     .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, DropReason::NoRoute);
+                #[cfg(feature = "audit")]
+                self.audit.on_dropped(pkt.flow, pkt.id, pkt.size, node);
             }
         }
     }
@@ -461,6 +473,8 @@ impl<P: 'static> Network<P> {
                     node,
                     DropReason::QueueOverflow,
                 );
+                #[cfg(feature = "audit")]
+                self.audit.on_dropped(pkt.flow, pkt.id, pkt.size, node);
             }
         }
     }
@@ -495,6 +509,9 @@ impl<P: 'static> Network<P> {
         pkt: Packet<P>,
         queue: &mut EventQueue<NetEvent>,
     ) {
+        #[cfg(feature = "audit")]
+        self.audit
+            .on_transmit(now, node, port, pkt.flow, pkt.id, pkt.size);
         let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
         debug_assert!(!p.busy);
         p.busy = true;
@@ -529,6 +546,14 @@ impl<P: 'static> Network<P> {
         packet: PacketRef,
         queue: &mut EventQueue<NetEvent>,
     ) {
+        #[cfg(feature = "audit")]
+        if self.audit.enabled() {
+            let (flow, id) = {
+                let pkt = self.pool.get_mut(packet);
+                (pkt.flow, pkt.id)
+            };
+            self.audit.on_transmit(now, node, port, flow, id, size);
+        }
         let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
         debug_assert!(!p.busy);
         p.busy = true;
@@ -605,6 +630,8 @@ impl<P: 'static> Network<P> {
                             node,
                             DropReason::NoRoute,
                         );
+                        #[cfg(feature = "audit")]
+                        self.audit.on_dropped(pkt.flow, pkt.id, pkt.size, node);
                     }
                 }
             }
@@ -612,6 +639,8 @@ impl<P: 'static> Network<P> {
                 let pkt = self.pool.take(packet);
                 self.stats
                     .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, reason);
+                #[cfg(feature = "audit")]
+                self.audit.on_dropped(pkt.flow, pkt.id, pkt.size, node);
             }
             QuickVerdict::NeedsSubmit => {
                 let pkt = self.pool.take(packet);
@@ -636,6 +665,8 @@ impl<P: 'static> Network<P> {
                 ConditionOutcome::Drop(pkt, reason) => {
                     self.stats
                         .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, reason);
+                    #[cfg(feature = "audit")]
+                    self.audit.on_dropped(pkt.flow, pkt.id, pkt.size, node);
                 }
                 ConditionOutcome::Absorbed { poll_at } => {
                     self.schedule_cond_poll(node, poll_at.max(now), queue);
@@ -678,12 +709,49 @@ impl<P: 'static> Network<P> {
             }
         }
     }
+
+    /// Close the audit's end-of-run conservation equations: count packets
+    /// still physically held at each node (port queues + conditioner
+    /// backlog) and on the wire, and check them against the lifecycle
+    /// ledger. Call once after the run; a no-op if the audit is disarmed.
+    #[cfg(feature = "audit")]
+    pub fn audit_finish(&mut self) {
+        if !self.audit.enabled() {
+            return;
+        }
+        let held: Vec<u64> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let queued: u64 = n.ports.iter().map(|p| u64::from(p.queued)).sum();
+                let absorbed = self.conditioners[i].as_ref().map_or(0, |c| c.held() as u64);
+                queued + absorbed
+            })
+            .collect();
+        self.audit.finish(self.pool.live(), &held);
+    }
+
+    /// The audit observer (read [`SimAudit::report`] after a run).
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> &SimAudit {
+        &self.audit
+    }
+
+    /// Mutable audit observer — arm it programmatically or register
+    /// token-bucket conformance bounds before the run.
+    #[cfg(feature = "audit")]
+    pub fn audit_mut(&mut self) -> &mut SimAudit {
+        &mut self.audit
+    }
 }
 
 impl<P: 'static> World for Network<P> {
     type Event = NetEvent;
 
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        #[cfg(feature = "audit")]
+        self.audit.on_event(now);
         match event {
             NetEvent::Start(node) => {
                 self.dispatch_app(now, node, |app, ctx| app.on_start(ctx), queue);
@@ -699,6 +767,8 @@ impl<P: 'static> World for Network<P> {
             NetEvent::CondPoll(node) => self.poll_conditioner(now, node, queue),
             NetEvent::Arrive { node, packet } => {
                 let idx = node.0 as usize;
+                #[cfg(feature = "audit")]
+                self.audit.on_arrive(node);
                 match self.nodes[idx].kind {
                     NodeKind::Router => self.router_arrive(now, node, packet, queue),
                     NodeKind::Host { .. } => {
@@ -713,6 +783,9 @@ impl<P: 'static> World for Network<P> {
                                 node,
                                 delay,
                             );
+                            #[cfg(feature = "audit")]
+                            self.audit
+                                .on_delivered(packet.flow, packet.id, packet.size, node);
                             self.dispatch_app(
                                 now,
                                 node,
@@ -731,6 +804,9 @@ impl<P: 'static> World for Network<P> {
                                 node,
                                 DropReason::NoRoute,
                             );
+                            #[cfg(feature = "audit")]
+                            self.audit
+                                .on_dropped(packet.flow, packet.id, packet.size, node);
                         }
                     }
                 }

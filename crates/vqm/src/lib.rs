@@ -305,6 +305,65 @@ mod tests {
     }
 
     #[test]
+    fn single_frame_clip_is_bounded() {
+        // One slot: no full segment fits, so the whole clip becomes one
+        // short segment. Scores must stay finite and in range for both a
+        // perfect and an impaired rendition.
+        let r = vec![FeatureFrame::neutral()];
+        let mut bad = r.clone();
+        bad[0].si = 5.0;
+        bad[0].fidelity = 0.2;
+        for rec in [&r, &bad] {
+            let res = Vqm::default().score_streams(&r, rec);
+            assert_eq!(res.segments.len(), 1);
+            assert!(res.overall.is_finite(), "overall {}", res.overall);
+            assert!(
+                (0.0..=score::MAX_SCORE).contains(&res.overall),
+                "overall {}",
+                res.overall
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variance_streams_never_produce_nan() {
+        // A perfectly flat clip (ti = 0 everywhere) has no temporal
+        // structure to align on: correlation is undefined, calibration
+        // fails, and every segment takes the failed-segment score — but
+        // nothing divides by the zero variance.
+        let flat = vec![FeatureFrame::neutral(); 400];
+        let res = Vqm::default().score_streams(&flat, &flat);
+        assert!(res.overall.is_finite(), "overall {}", res.overall);
+        assert!((0.0..=score::MAX_SCORE).contains(&res.overall));
+        assert_eq!(
+            res.failed_segments,
+            res.segments.len(),
+            "flat clips cannot calibrate"
+        );
+        for seg in &res.segments {
+            assert!(seg.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn all_frames_dropped_scores_worst_without_panicking() {
+        // Total failure: every slot repeats frame 0. The renderer model
+        // produces a frozen feature stream; the score saturates high and
+        // stays finite.
+        let r = reference();
+        let displayed: Vec<u32> = vec![0; r.len()];
+        let rec = displayed_stream(&r, &displayed);
+        let res = Vqm::default().score_streams(&r, &rec);
+        assert!(res.overall.is_finite(), "overall {}", res.overall);
+        assert!(
+            res.overall > 0.8,
+            "all-dropped clip must score near worst: {}",
+            res.overall
+        );
+        assert!(res.overall <= score::MAX_SCORE);
+    }
+
+    #[test]
     #[should_panic(expected = "same slots")]
     fn mismatched_lengths_panic() {
         let r = reference();

@@ -171,6 +171,33 @@ proptest! {
             "self-comparison must not score worse than impairment");
     }
 
+    /// Degenerate inputs — tiny clips (down to one frame) and perfectly
+    /// flat streams with zero temporal variance — must never produce a
+    /// NaN, an infinity, or a score outside [0, 1.05].
+    #[test]
+    fn vqm_degenerate_inputs_stay_bounded(
+        n in 1usize..8,
+        si in 1.0f64..250.0,
+        ti_sel in 0u8..3,
+        long in 0u8..2,
+    ) {
+        let ti = [0.0f64, 0.5, 40.0][ti_sel as usize];
+        let len = if long == 1 { 350 } else { n };
+        let frame = FeatureFrame { si, ti, y_mean: 128.0, chroma: 20.0, fidelity: 1.0 };
+        let reference = vec![frame; len];
+        let mut received = reference.clone();
+        received[0].fidelity = 0.3;
+        for rec in [&reference, &received] {
+            let res = Vqm::default().score_streams(&reference, rec);
+            prop_assert!(res.overall.is_finite(), "score {}", res.overall);
+            prop_assert!(res.overall >= 0.0);
+            prop_assert!(res.overall <= 1.05 + 1e-12, "score {}", res.overall);
+            for seg in &res.segments {
+                prop_assert!(seg.score.is_finite());
+            }
+        }
+    }
+
     /// The event queue delivers in (time, insertion) order for any batch.
     #[test]
     fn event_queue_total_order(

@@ -2,6 +2,11 @@
 //! coarse token-rate grid. These are the claims EXPERIMENTS.md reports;
 //! if one of them regresses, the reproduction is broken even if every
 //! unit test passes.
+//!
+//! The grids load committed goldens (`results/findings_qbone_*.json`)
+//! through [`dsv_core::golden`]: a checksum over the generating configs
+//! fails loudly if the tested grid drifts from the committed one, and
+//! `DSV_REGEN=1` re-simulates and rewrites the files. See DESIGN.md §7.
 
 use dsv_core::prelude::*;
 
@@ -13,7 +18,56 @@ fn sweep_lost() -> SweepResult {
     let rates: Vec<u64> = (0..8)
         .map(|i| (ENC as f64 * (0.88 + i as f64 * 0.08)) as u64)
         .collect();
-    qbone_sweep(&base, &rates, &[DEPTH_2MTU, DEPTH_3MTU], "findings sweep")
+    golden_qbone_sweep(
+        "findings_qbone_sweep",
+        &base,
+        &rates,
+        &[DEPTH_2MTU, DEPTH_3MTU],
+        "findings sweep",
+    )
+}
+
+// Indices into the point-run golden below (job order is the contract —
+// the checksum catches any drift).
+const LOST_LOW: usize = 0;
+const LOST_HIGH: usize = 1;
+const DARK_LOW: usize = 2;
+const DARK_HIGH: usize = 3;
+const VSBEST_LOW_ENC: usize = 4;
+const VSBEST_HIGH_ENC: usize = 5;
+const HOPELESS: usize = 6;
+
+/// The non-grid point runs the findings below share, as one golden.
+fn point_outcomes() -> Vec<RunOutcome> {
+    let probe = |clip: ClipId2, rate: u64| {
+        Job::Qbone(QboneConfig::new(
+            clip,
+            ENC,
+            EfProfile::new(rate, DEPTH_3MTU),
+        ))
+    };
+    let low_rate = (ENC as f64 * 0.9) as u64;
+    let high_rate = (ENC as f64 * 1.3) as u64;
+    let token = 1_250_000u64; // covers 1.0M comfortably, starves 1.7M
+    let mut low_enc = QboneConfig::new(ClipId2::Lost, 1_000_000, EfProfile::new(token, DEPTH_3MTU));
+    low_enc.score_vs_best = true;
+    let mut high_enc =
+        QboneConfig::new(ClipId2::Lost, 1_700_000, EfProfile::new(token, DEPTH_3MTU));
+    high_enc.score_vs_best = true;
+    let jobs = vec![
+        probe(ClipId2::Lost, low_rate),
+        probe(ClipId2::Lost, high_rate),
+        probe(ClipId2::Dark, low_rate),
+        probe(ClipId2::Dark, high_rate),
+        Job::Qbone(low_enc),
+        Job::Qbone(high_enc),
+        Job::Qbone(QboneConfig::new(
+            ClipId2::Lost,
+            1_700_000,
+            EfProfile::new(1_000_000, DEPTH_2MTU),
+        )),
+    ];
+    golden_outcomes("findings_qbone_points", &jobs)
 }
 
 #[test]
@@ -78,20 +132,10 @@ fn clips_share_the_shape() {
     // Finding: "the different motion characteristics of their content do
     // not significantly affect the basic relation" — Dark's curve has the
     // same shape: bad below the rate, good once the profile covers it.
-    let probe = |clip: ClipId2, rate: u64| {
-        run_qbone(&QboneConfig::new(
-            clip,
-            ENC,
-            EfProfile::new(rate, DEPTH_3MTU),
-        ))
-    };
-    let lost_low = probe(ClipId2::Lost, (ENC as f64 * 0.9) as u64);
-    let lost_high = probe(ClipId2::Lost, (ENC as f64 * 1.3) as u64);
-    let dark_low = probe(ClipId2::Dark, (ENC as f64 * 0.9) as u64);
-    let dark_high = probe(ClipId2::Dark, (ENC as f64 * 1.3) as u64);
+    let outcomes = point_outcomes();
     for (name, low, high) in [
-        ("lost", &lost_low, &lost_high),
-        ("dark", &dark_low, &dark_high),
+        ("lost", &outcomes[LOST_LOW], &outcomes[LOST_HIGH]),
+        ("dark", &outcomes[DARK_LOW], &outcomes[DARK_HIGH]),
     ] {
         assert!(low.quality > 0.8, "{name} low-rate quality {}", low.quality);
         assert!(
@@ -109,13 +153,9 @@ fn lower_encoding_with_headroom_beats_higher_encoding_with_losses() {
     // The paper's second experiment set: against the 1.7 Mbps reference,
     // a clean 1.0 Mbps stream beats a policed 1.7 Mbps stream when the
     // token rate only covers the lower encoding.
-    let token = 1_250_000u64; // covers 1.0M comfortably, starves 1.7M
-    let mut low = QboneConfig::new(ClipId2::Lost, 1_000_000, EfProfile::new(token, DEPTH_3MTU));
-    low.score_vs_best = true;
-    let mut high = QboneConfig::new(ClipId2::Lost, 1_700_000, EfProfile::new(token, DEPTH_3MTU));
-    high.score_vs_best = true;
-    let low_out = run_qbone(&low);
-    let high_out = run_qbone(&high);
+    let outcomes = point_outcomes();
+    let low_out = &outcomes[VSBEST_LOW_ENC];
+    let high_out = &outcomes[VSBEST_HIGH_ENC];
     let low_q = low_out.quality_vs_best.expect("requested");
     let high_q = high_out.quality_vs_best.expect("requested");
     assert!(
@@ -133,11 +173,7 @@ fn failed_calibration_produces_worst_score() {
     // At a hopeless profile, most VQM segments fail temporal calibration
     // and the score saturates at 1.0 — exactly the tool behaviour the
     // paper describes for long degraded periods.
-    let out = run_qbone(&QboneConfig::new(
-        ClipId2::Lost,
-        1_700_000,
-        EfProfile::new(1_000_000, DEPTH_2MTU),
-    ));
+    let out = &point_outcomes()[HOPELESS];
     assert!(out.failed_segments > 0, "expected calibration failures");
     assert!(out.quality > 0.9, "quality {}", out.quality);
 }

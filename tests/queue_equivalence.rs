@@ -8,7 +8,8 @@
 //! dispatch, far-future timestamps (up to `SimTime::MAX` sentinels) and
 //! spans that cross every wheel level all round-trip identically.
 
-use dsv_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
+use dsv_sim::engine::RunStats;
+use dsv_sim::{run_until, EventQueue, QueueBackend, SimDuration, SimTime, World};
 use proptest::prelude::*;
 
 /// Drive both backends through the same operation script and assert they
@@ -171,6 +172,103 @@ fn max_time_sentinels_agree() {
             (SimTime::MAX, 2),
         ]
     );
+}
+
+/// A periodic world for driving the full `run_until` loop (the fused
+/// `pop_at_or_before` path the engine actually uses) over both backends.
+struct Ticker {
+    period: SimDuration,
+    remaining: u32,
+    log: Vec<SimTime>,
+}
+
+impl World for Ticker {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, ev: u64, q: &mut EventQueue<u64>) {
+        self.log.push(now);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            q.schedule(now + self.period, ev + 1);
+        }
+    }
+}
+
+fn run_ticker(backend: QueueBackend, horizon: SimTime) -> (RunStats, Vec<SimTime>) {
+    let mut world = Ticker {
+        period: SimDuration::from_millis(10),
+        remaining: 50,
+        log: Vec::new(),
+    };
+    let mut queue: EventQueue<u64> = EventQueue::with_backend(backend);
+    queue.schedule(SimTime::ZERO, 0);
+    let stats = run_until(&mut world, &mut queue, horizon);
+    (stats, world.log)
+}
+
+/// `run_until` is horizon-inclusive: an event scheduled *exactly at* the
+/// horizon dispatches, the first event beyond it stays queued, and both
+/// backends agree on the dispatch count, end time and `hit_horizon`.
+#[test]
+fn run_until_horizon_is_inclusive_on_both_backends() {
+    // The ticker fires every 10 ms starting at 0; a 100 ms horizon lands
+    // exactly on the 11th event (t = 100 ms).
+    let horizon = SimTime::from_millis(100);
+    let (wheel, wheel_log) = run_ticker(QueueBackend::Wheel, horizon);
+    let (heap, heap_log) = run_ticker(QueueBackend::Heap, horizon);
+
+    assert_eq!(wheel, heap, "backends disagree on RunStats");
+    assert_eq!(wheel_log, heap_log, "backends disagree on dispatch times");
+
+    assert_eq!(
+        *wheel_log.last().unwrap(),
+        horizon,
+        "the event exactly at the horizon must be dispatched"
+    );
+    assert_eq!(wheel.dispatched, 11);
+    assert_eq!(wheel.end_time, horizon);
+    assert!(
+        wheel.hit_horizon,
+        "the 12th event (t = 110 ms) is still pending"
+    );
+}
+
+/// A horizon beyond the last event runs the world dry: `hit_horizon` is
+/// false and `end_time` is the last dispatch, not the horizon.
+#[test]
+fn run_until_past_the_end_agrees_with_free_running() {
+    let horizon = SimTime::from_secs(3600);
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let (stats, log) = run_ticker(backend, horizon);
+        assert_eq!(stats.dispatched, 51, "{backend:?}");
+        assert_eq!(stats.end_time, SimTime::from_millis(500), "{backend:?}");
+        assert!(!stats.hit_horizon, "{backend:?}");
+        assert_eq!(log.len(), 51);
+    }
+}
+
+/// Resuming after a horizon stop continues exactly where the run left
+/// off — the fused pop must not have consumed the beyond-horizon event.
+#[test]
+fn run_until_resumes_without_losing_events() {
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let mut world = Ticker {
+            period: SimDuration::from_millis(10),
+            remaining: 50,
+            log: Vec::new(),
+        };
+        let mut queue: EventQueue<u64> = EventQueue::with_backend(backend);
+        queue.schedule(SimTime::ZERO, 0);
+        // Stop between events (95 ms), then resume to the end.
+        let first = run_until(&mut world, &mut queue, SimTime::from_millis(95));
+        assert_eq!(first.dispatched, 10, "{backend:?}");
+        assert!(first.hit_horizon, "{backend:?}");
+        let rest = run_until(&mut world, &mut queue, SimTime::from_secs(3600));
+        assert_eq!(first.dispatched + rest.dispatched, 51, "{backend:?}");
+        assert_eq!(rest.end_time, SimTime::from_millis(500), "{backend:?}");
+        // No event was dispatched twice and none was skipped.
+        assert_eq!(world.log.len(), 51, "{backend:?}");
+        assert!(world.log.windows(2).all(|w| w[0] < w[1]), "{backend:?}");
+    }
 }
 
 /// A far-future horizon releases everything; a past horizon releases
