@@ -44,6 +44,17 @@ cargo clippy -p dsv-check -p dsv-integration -p dsv-bench --all-targets \
 echo "==> runner_bench smoke (tiny grid, temp output)"
 DSV_BENCH_SMOKE=1 DSV_CACHE=off ./target/release/runner_bench
 
+echo "==> scenario-schema smoke (parse + compile + run every committed spec)"
+for spec in examples/*.json; do
+  ./target/release/dsv run --scenario "$spec" > /dev/null
+done
+
+echo "==> scenario refactor gate (spec-driven figures byte-identical, cache off)"
+DSV_CACHE=off ./target/release/fig07_qbone_lost > /dev/null
+DSV_CACHE=off ./target/release/ablation_hop_jitter > /dev/null
+DSV_CACHE=off ./target/release/fig16_aggregate > /dev/null
+git diff --exit-code -- results/
+
 if [[ "$AUDIT" == 1 ]]; then
   echo "==> audit build"
   cargo build --release -p dsv-bench --features dsv-bench/audit

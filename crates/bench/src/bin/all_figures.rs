@@ -12,6 +12,7 @@ fn main() {
         ("Figures 10-12 (QBone, Dark)", f::fig10_12),
         ("Relative quality (vs 1.7M reference)", f::fig13_relative),
         ("Local testbed", f::fig15_local),
+        ("Aggregate EF policing", f::fig16_aggregate),
         ("Ablation: bi-modal servers", f::ablation_bimodal),
         ("Ablation: death spiral", f::ablation_death_spiral),
         ("Ablation: bucket depth", f::ablation_bucket_depth),

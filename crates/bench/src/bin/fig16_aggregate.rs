@@ -1,0 +1,5 @@
+//! Figure 16 (beyond the paper): per-flow quality under an aggregate
+//! EF policer, versus aggregate token rate and bucket depth.
+fn main() {
+    dsv_bench::figures::fig16_aggregate();
+}

@@ -330,6 +330,89 @@ pub fn fig15_local() {
     }
 }
 
+/// Figure 16 (beyond the paper): N paced video flows behind one
+/// aggregate EF policer at the edge — per-flow quality and loss versus
+/// the aggregate token rate, for both paper bucket depths. The grid is
+/// the one the `paper_findings_aggregate` suite pins as a golden: rate
+/// alone cannot keep aggregates watchable because the N in-phase
+/// server bursts outgrow any fixed bucket depth.
+pub fn fig16_aggregate() {
+    println!("Figure 16. Aggregate EF policing: per-flow quality vs aggregate token rate.\n");
+    #[derive(Serialize)]
+    struct Out {
+        flows: u32,
+        depth_bytes: u32,
+        rate_fraction: f64,
+        aggregate_rate_bps: u64,
+        mean_quality: f64,
+        worst_quality: f64,
+        mean_packet_loss: f64,
+        policer_drops: u64,
+    }
+    const ENC: u64 = 1_000_000;
+    let fractions = [0.9, 1.0, 1.1, 1.25, 1.4];
+    let mut cfgs = Vec::new();
+    for &depth in &[DEPTH_2MTU, DEPTH_3MTU] {
+        for &n in &[1u32, 2, 4, 8] {
+            for &frac in &fractions {
+                let rate = (ENC as f64 * n as f64 * frac) as u64;
+                cfgs.push(AggregateConfig::new(
+                    ClipId2::Lost,
+                    ENC,
+                    n,
+                    EfProfile::new(rate, depth),
+                ));
+            }
+        }
+    }
+    let outs = Runner::from_env().run_aggregate_batch(&cfgs);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for (cfg, out) in cfgs.iter().zip(&outs) {
+        let frac = cfg.profile.token_rate_bps as f64 / (ENC as f64 * cfg.flows as f64);
+        rows.push(vec![
+            cfg.flows.to_string(),
+            cfg.profile.bucket_depth_bytes.to_string(),
+            format!("{frac:.2}"),
+            cfg.profile.token_rate_bps.to_string(),
+            format!("{:.3}", out.mean_quality()),
+            format!("{:.3}", out.worst_quality()),
+            format!("{:.3}", out.mean_packet_loss()),
+            out.total_policer_drops().to_string(),
+        ]);
+        all.push(Out {
+            flows: cfg.flows,
+            depth_bytes: cfg.profile.bucket_depth_bytes,
+            rate_fraction: frac,
+            aggregate_rate_bps: cfg.profile.token_rate_bps,
+            mean_quality: out.mean_quality(),
+            worst_quality: out.worst_quality(),
+            mean_packet_loss: out.mean_packet_loss(),
+            policer_drops: out.total_policer_drops(),
+        });
+    }
+    print!(
+        "{}",
+        format_table(
+            &[
+                "flows",
+                "depth",
+                "rate/N·enc",
+                "agg rate (bps)",
+                "mean VQM",
+                "worst VQM",
+                "pkt loss",
+                "policer drops"
+            ],
+            &rows
+        )
+    );
+    println!("\n(Provisioning the aggregate at N × the single-flow profile is not");
+    println!("enough: the bucket depth must scale with N too, or the policer");
+    println!("clips every in-phase burst no matter how generous the token rate.)");
+    emit_json("fig16_aggregate", &all);
+}
+
 /// Ablation: the large-datagram servers' bi-modal behaviour (paper §4).
 pub fn ablation_bimodal() {
     #[derive(Serialize)]
@@ -608,9 +691,14 @@ pub fn ablation_multirate() {
 /// to the accumulation of larger bursts as the EF traffic traverses
 /// multiple hops".
 pub fn ablation_hop_jitter() {
+    use dsv_core::artifacts::ArtifactStore;
     use dsv_net::prelude::*;
-    use dsv_sim::{SimDuration, SimRng, SimTime};
-    use dsv_stream::prelude::*;
+    use dsv_scenario::{
+        compile, ActionSpec, AppSpec, ClipId2, CodecSpec, CompileOptions, ConditionerSpec,
+        DscpSpec, LimitsSpec, LinkParams, LinkSpec, MatchSpec, MediaRef, NodeSpec, QdiscSpec,
+        RuleSpec, ScenarioSpec, TransportSpec,
+    };
+    use dsv_sim::SimTime;
 
     println!("Ablation: EF delay/jitter vs hop count (BE cross load at every hop)\n");
     #[derive(Serialize)]
@@ -624,75 +712,123 @@ pub fn ablation_hop_jitter() {
     let mut all = Vec::new();
     let mut rows = Vec::new();
     for hops in [1usize, 2, 4, 6, 8] {
-        let model = dsv_media::scene::ClipId::Lost.model();
-        let clip = dsv_media::encoder::mpeg1::encode(&model, 1_000_000);
-        let mut b = NetworkBuilder::<StreamPayload>::new();
-        let server_id = NodeId((hops + 2) as u32);
-        let (ch, capp) = Shared::new(StreamClient::new(ClientConfig {
-            server: server_id,
-            up_flow: dsv_core::qbone::UP_FLOW,
-            frames: clip.frames.len() as u32,
-            kind_fn: dsv_media::encoder::mpeg1::frame_kind,
-            playback: PlaybackConfig::default(),
-            feedback_interval: None,
-            mode: ClientMode::Udp,
-        }));
-        let client = b.add_host("client", Box::new(capp));
-        let mut routers = Vec::new();
+        let media = MediaRef {
+            clip: ClipId2::Lost,
+            codec: CodecSpec::Mpeg1,
+            rate_bps: 1_000_000,
+        };
+        let mut spec = ScenarioSpec::new(&format!("hop-jitter-{hops}"), 0x0BB5);
+        spec.nodes.push(NodeSpec::host(
+            "client",
+            AppSpec::StreamClient {
+                server: "server".to_string(),
+                up_flow: dsv_core::qbone::UP_FLOW.0,
+                media,
+                transport: TransportSpec::Udp,
+                feedback_us: None,
+            },
+        ));
         for h in 0..=hops {
-            routers.push(b.add_router(&format!("r{h}")));
+            spec.nodes.push(NodeSpec::router(&format!("r{h}")));
         }
-        let server = b.add_host(
+        spec.nodes.push(NodeSpec::host(
             "server",
-            Box::new(PacedServer::new(
-                PacedConfig::new(client, dsv_core::qbone::MEDIA_FLOW, Dscp::EF),
-                &clip,
-            )),
-        );
-        assert_eq!(server, server_id);
-        b.connect(server, routers[0], Link::fast_ethernet());
-        b.connect(client, routers[hops], Link::ethernet_10mbps());
-        let prio = || {
-            Box::new(StrictPriorityQueue::ef_default(
-                QueueLimits::bytes(60_000),
-                QueueLimits::packets(40),
-            ))
+            AppSpec::PacedServer {
+                client: "client".to_string(),
+                flow: dsv_core::qbone::MEDIA_FLOW.0,
+                dscp: DscpSpec::Ef,
+                media,
+            },
+        ));
+        // BE cross load entering at hop h, leaving at the client edge.
+        // Fork labels equal the hop index, consumed in hop order.
+        for h in 0..hops {
+            spec.nodes.push(NodeSpec::host(
+                &format!("ct-sink{h}"),
+                AppSpec::CountingSink,
+            ));
+            spec.nodes.push(NodeSpec::host(
+                &format!("ct-src{h}"),
+                AppSpec::OnOffSource {
+                    dst: format!("ct-sink{h}"),
+                    flow: 200 + h as u32,
+                    packet_size: 1500,
+                    peak_rate_bps: 4_000_000,
+                    mean_on_us: 80_000,
+                    mean_off_us: 120_000,
+                    dscp: DscpSpec::BestEffort,
+                    stop_at_us: 120_000_000,
+                    rng_fork: h as u64,
+                },
+            ));
+        }
+        spec.links.push(LinkSpec::simple(
+            "server",
+            "r0",
+            LinkParams::fast_ethernet(),
+        ));
+        spec.links.push(LinkSpec::simple(
+            "client",
+            &format!("r{hops}"),
+            LinkParams::ethernet_10mbps(),
+        ));
+        let prio = QdiscSpec::StrictPriorityEf {
+            ef: LimitsSpec::bytes(60_000),
+            be: LimitsSpec::packets(40),
         };
         // 3 Mbps inter-router links: tight enough that BE load queues.
-        let serial = Link::new(3_000_000, SimDuration::from_millis(1));
-        let mut rng = SimRng::seed_from_u64(0x0BB5);
+        let serial = LinkParams {
+            rate_bps: 3_000_000,
+            propagation_ns: 1_000_000,
+        };
         for h in 0..hops {
-            b.connect_with(routers[h], routers[h + 1], serial, serial, prio(), prio());
-            // BE cross load entering at hop h, leaving at the client edge.
-            let ct_sink = b.add_host(&format!("ct-sink{h}"), Box::new(CountingSink::default()));
-            b.connect(ct_sink, routers[h + 1], Link::fast_ethernet());
-            let ct = b.add_host(
+            spec.links.push(LinkSpec::symmetric(
+                &format!("r{h}"),
+                &format!("r{}", h + 1),
+                serial,
+                prio,
+            ));
+            spec.links.push(LinkSpec::simple(
+                &format!("ct-sink{h}"),
+                &format!("r{}", h + 1),
+                LinkParams::fast_ethernet(),
+            ));
+            spec.links.push(LinkSpec::simple(
                 &format!("ct-src{h}"),
-                Box::new(OnOffSource::new(
-                    ct_sink,
-                    FlowId(200 + h as u32),
-                    1500,
-                    4_000_000,
-                    SimDuration::from_millis(80),
-                    SimDuration::from_millis(120),
-                    Dscp::BEST_EFFORT,
-                    SimTime::from_secs(120),
-                    rng.fork(h as u64),
-                )),
-            );
-            b.connect(ct, routers[h], Link::fast_ethernet());
+                &format!("r{h}"),
+                LinkParams::fast_ethernet(),
+            ));
         }
         // The EF profile: police at the first router.
-        let pol = dsv_diffserv::policer::Policer::car_drop(1_300_000, 4500);
-        let table: dsv_diffserv::policy::PolicyTable<StreamPayload> =
-            dsv_diffserv::policy::PolicyTable::new().with(
-                dsv_diffserv::classifier::MatchRule::src_dst(server, client),
-                dsv_diffserv::policy::PolicyAction::Police(pol),
-            );
-        b.set_conditioner(routers[0], Box::new(table));
+        spec.conditioners.push(ConditionerSpec {
+            node: "r0".to_string(),
+            tap: None,
+            rules: vec![RuleSpec {
+                matches: MatchSpec::src_dst("server", "client"),
+                action: ActionSpec::Police {
+                    rate_bps: 1_300_000,
+                    depth_bytes: 4500,
+                    conform_mark: None,
+                },
+            }],
+        });
+        spec.horizon_ns = Some(110 * 1_000_000_000);
 
-        let mut sim = Simulation::new(b.build());
-        sim.run_until(SimTime::from_secs(110));
+        let compiled = compile(
+            &spec,
+            CompileOptions {
+                store: Some(&ArtifactStore),
+                wrap: None,
+            },
+        )
+        .expect("hop-jitter spec compiles");
+        let ch = compiled
+            .sole_client()
+            .expect("hop-jitter spec binds one client")
+            .clone();
+        let horizon = compiled.horizon.expect("hop-jitter spec sets a horizon");
+        let mut sim = Simulation::new(compiled.net);
+        sim.run_until(SimTime::ZERO + horizon);
         let media = sim.net.stats.flow(dsv_core::qbone::MEDIA_FLOW);
         let rep = ch.borrow().report();
         let p50 = media

@@ -9,26 +9,23 @@
 //! * [`run_stream_chain`] — a real paced video server and streaming
 //!   client across a faultable router, for playback-robustness checks.
 //!
-//! Both take an explicit [`QueueBackend`] so differential tests can run
-//! the wheel and the heap in the same process, and both arm the audit
-//! oracles whenever the `audit` feature is compiled in *and* auditing is
-//! runtime-enabled.
+//! Both fixtures are declared as [`ScenarioSpec`]s ([`chain_spec`],
+//! [`stream_spec`]) and lowered by the scenario compiler — nodes resolve
+//! by name, never by creation order — with the [`FaultPlan`] installed
+//! through the compiler's tap-wrap hook. Both take an explicit
+//! [`QueueBackend`] so differential tests can run the wheel and the heap
+//! in the same process, and both arm the audit oracles whenever the
+//! `audit` feature is compiled in *and* auditing is runtime-enabled.
 
-use dsv_media::encoder::mpeg1;
 use dsv_media::scene::ClipId;
-use dsv_net::app::{AppCtx, Application, SendSpec, Shared};
-use dsv_net::link::Link;
-use dsv_net::network::{NetworkBuilder, Simulation};
-use dsv_net::packet::{Dscp, FlowId, NodeId, Packet, Proto};
+use dsv_net::network::Simulation;
+use dsv_net::packet::FlowId;
+use dsv_scenario::{
+    compile, ActionSpec, AppSpec, BoundSpec, BoxConditioner, CodecSpec, CompileOptions,
+    ConditionerSpec, DscpSpec, LinkParams, LinkSpec, MatchSpec, MediaRef, NodeSpec, RuleSpec,
+    ScenarioSpec, TransportSpec,
+};
 use dsv_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
-use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
-use dsv_stream::payload::StreamPayload;
-use dsv_stream::playback::PlaybackConfig;
-use dsv_stream::server::paced::{PacedConfig, PacedServer};
-
-use dsv_diffserv::classifier::MatchRule;
-use dsv_diffserv::policer::Policer;
-use dsv_diffserv::policy::{PolicyAction, PolicyTable};
 
 use crate::fault::FaultPlan;
 
@@ -135,81 +132,72 @@ impl ChainOutcome {
     }
 }
 
-/// A constant-rate source (mirrors the network tests' `Blaster`).
-struct Pump {
-    dst: NodeId,
-    count: u32,
-    size: u32,
-    gap: SimDuration,
-    sent: u32,
-}
+/// The declarative policer-chain topology for `cfg` (faults and backend
+/// are runtime concerns and stay outside the spec).
+pub fn chain_spec(cfg: &ChainConfig) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("policer-chain", 0);
+    spec.nodes.push(NodeSpec::host("rx", AppSpec::IdSink));
+    spec.nodes.push(NodeSpec::router("tap"));
+    spec.nodes.push(NodeSpec::host(
+        "tx",
+        AppSpec::Pump {
+            dst: "rx".to_string(),
+            flow: CHAIN_FLOW.0,
+            count: cfg.packets,
+            size: cfg.size,
+            gap_ns: cfg.gap.as_nanos(),
+        },
+    ));
 
-impl Application<()> for Pump {
-    fn on_start(&mut self, ctx: &mut AppCtx<()>) {
-        ctx.set_timer(SimDuration::ZERO, 0);
-    }
-    fn on_packet(&mut self, _ctx: &mut AppCtx<()>, _pkt: Packet<()>) {}
-    fn on_timer(&mut self, ctx: &mut AppCtx<()>, _token: u64) {
-        if self.sent < self.count {
-            self.sent += 1;
-            ctx.send(SendSpec {
-                dst: self.dst,
-                flow: CHAIN_FLOW,
-                size: self.size,
-                dscp: Dscp::BEST_EFFORT,
-                proto: Proto::Udp,
-                fragment: None,
-                payload: (),
-            });
-            ctx.set_timer(self.gap, 0);
-        }
-    }
-}
+    let link = LinkParams {
+        rate_bps: cfg.link_bps,
+        propagation_ns: cfg.prop.as_nanos(),
+    };
+    spec.links.push(LinkSpec::simple("tx", "tap", link));
+    spec.links.push(LinkSpec::simple("tap", "rx", link));
 
-/// Records delivered packet ids in arrival order.
-#[derive(Default)]
-struct IdSink {
-    ids: Vec<u64>,
-}
-
-impl Application<()> for IdSink {
-    fn on_start(&mut self, _ctx: &mut AppCtx<()>) {}
-    fn on_packet(&mut self, _ctx: &mut AppCtx<()>, pkt: Packet<()>) {
-        self.ids.push(pkt.id.0);
-    }
-    fn on_timer(&mut self, _ctx: &mut AppCtx<()>, _token: u64) {}
+    spec.conditioners.push(ConditionerSpec {
+        node: "tap".to_string(),
+        tap: Some(TAP.to_string()),
+        rules: vec![RuleSpec {
+            matches: MatchSpec::flow(CHAIN_FLOW.0),
+            action: ActionSpec::Police {
+                rate_bps: cfg.rate_bps,
+                depth_bytes: cfg.depth_bytes,
+                conform_mark: None,
+            },
+        }],
+    });
+    spec.bounds.push(BoundSpec {
+        node: "tap".to_string(),
+        flow: CHAIN_FLOW.0,
+        rate_bps: cfg.rate_bps,
+        depth_bytes: cfg.depth_bytes,
+    });
+    spec
 }
 
 /// Run the policer chain to completion and collect the outcome.
 pub fn run_policer_chain(cfg: &ChainConfig) -> ChainOutcome {
-    let mut b = NetworkBuilder::<()>::new();
-    let (sink_handle, sink_app) = Shared::new(IdSink::default());
-    let rx = b.add_host("rx", Box::new(sink_app));
-    let tap = b.add_router("tap");
-    let tx = b.add_host(
-        "tx",
-        Box::new(Pump {
-            dst: rx,
-            count: cfg.packets,
-            size: cfg.size,
-            gap: cfg.gap,
-            sent: 0,
-        }),
-    );
-    let link = Link::new(cfg.link_bps, cfg.prop);
-    b.connect(tx, tap, link);
-    b.connect(tap, rx, link);
-
-    let table = PolicyTable::new().with(
-        MatchRule {
-            flow: Some(CHAIN_FLOW),
-            ..MatchRule::ANY
+    let spec = chain_spec(cfg);
+    let wrap = |tap: &str, inner: BoxConditioner| cfg.plan.wrap(tap, inner);
+    let compiled = compile(
+        &spec,
+        CompileOptions {
+            store: None,
+            wrap: Some(&wrap),
         },
-        PolicyAction::Police(Policer::car_drop(cfg.rate_bps, cfg.depth_bytes)),
-    );
-    b.set_conditioner(tap, cfg.plan.wrap(TAP, Box::new(table)));
+    )
+    .expect("chain spec compiles");
+    let sink_handle = compiled
+        .id_sinks
+        .first()
+        .expect("chain has a recording sink")
+        .1
+        .clone();
+    let bounds = compiled.bounds.clone();
 
-    let net = b.build();
+    let net = compiled.net;
     let mut queue = EventQueue::with_backend(cfg.backend);
     net.schedule_starts(&mut queue);
     let mut sim = Simulation { net, queue };
@@ -218,15 +206,16 @@ pub fn run_policer_chain(cfg: &ChainConfig) -> ChainOutcome {
     let audited = {
         let on = sim.net.audit().enabled();
         if on {
-            sim.net.audit_mut().register_conformance_bound(
-                tap,
-                CHAIN_FLOW,
-                cfg.rate_bps,
-                cfg.depth_bytes,
-            );
+            for &(node, flow, rate_bps, depth_bytes) in &bounds {
+                sim.net
+                    .audit_mut()
+                    .register_conformance_bound(node, flow, rate_bps, depth_bytes);
+            }
         }
         on
     };
+    #[cfg(not(feature = "audit"))]
+    let _ = bounds;
 
     let stats = sim.run();
 
@@ -292,46 +281,87 @@ pub struct StreamOutcome {
     pub audit: Option<AuditReport>,
 }
 
+/// The declarative streaming-chain topology for `cfg`.
+pub fn stream_spec(cfg: &StreamChainConfig) -> ScenarioSpec {
+    let media = MediaRef {
+        clip: cfg.clip.into(),
+        codec: CodecSpec::Mpeg1,
+        rate_bps: cfg.encoding_bps,
+    };
+    let mut spec = ScenarioSpec::new("stream-chain", 0);
+    spec.nodes.push(NodeSpec::host(
+        "client",
+        AppSpec::StreamClient {
+            server: "server".to_string(),
+            up_flow: 2,
+            media,
+            transport: TransportSpec::Udp,
+            feedback_us: None,
+        },
+    ));
+    spec.nodes.push(NodeSpec::router("tap"));
+    spec.nodes.push(NodeSpec::host(
+        "server",
+        AppSpec::PacedServer {
+            client: "client".to_string(),
+            flow: CHAIN_FLOW.0,
+            dscp: DscpSpec::BestEffort,
+            media,
+        },
+    ));
+
+    spec.links.push(LinkSpec::simple(
+        "server",
+        "tap",
+        LinkParams::fast_ethernet(),
+    ));
+    spec.links.push(LinkSpec::simple(
+        "client",
+        "tap",
+        LinkParams::fast_ethernet(),
+    ));
+
+    // A pass-everything conditioner: its only job is giving the fault
+    // plan a named tap to hook.
+    spec.conditioners.push(ConditionerSpec {
+        node: "tap".to_string(),
+        tap: Some(TAP.to_string()),
+        rules: vec![RuleSpec {
+            matches: MatchSpec::ANY,
+            action: ActionSpec::Pass,
+        }],
+    });
+
+    spec.horizon_ns = Some(dsv_core::experiment::run_horizon(cfg.clip).as_nanos());
+    spec
+}
+
 /// Stream a real clip through a faultable router and report how the
 /// client's playback model coped.
 pub fn run_stream_chain(cfg: &StreamChainConfig) -> StreamOutcome {
-    let clip = dsv_core::artifacts::encoding(
+    dsv_core::artifacts::encoding(
         cfg.clip,
         dsv_core::artifacts::Codec::Mpeg1,
         cfg.encoding_bps,
     );
 
-    let mut b = NetworkBuilder::<StreamPayload>::new();
-    let server_id = NodeId(2);
-    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
-        server: server_id,
-        up_flow: FlowId(2),
-        frames: clip.frames.len() as u32,
-        kind_fn: mpeg1::frame_kind,
-        playback: PlaybackConfig::default(),
-        feedback_interval: None,
-        mode: ClientMode::Udp,
-    }));
-    let client = b.add_host("client", Box::new(client_app));
-    let tap = b.add_router("tap");
-    let server = b.add_host(
-        "server",
-        Box::new(PacedServer::new(
-            PacedConfig::new(client, CHAIN_FLOW, Dscp::BEST_EFFORT),
-            &clip,
-        )),
-    );
-    assert_eq!(server, server_id, "node creation order changed");
-    b.connect(server, tap, Link::fast_ethernet());
-    b.connect(client, tap, Link::fast_ethernet());
+    let spec = stream_spec(cfg);
+    let wrap = |tap: &str, inner: BoxConditioner| cfg.plan.wrap(tap, inner);
+    let compiled = compile(
+        &spec,
+        CompileOptions {
+            store: Some(&dsv_core::artifacts::ArtifactStore),
+            wrap: Some(&wrap),
+        },
+    )
+    .expect("stream spec compiles");
+    let client_handle = compiled
+        .sole_client()
+        .expect("stream chain has one client")
+        .clone();
+    let horizon = compiled.horizon.expect("stream spec sets a horizon");
 
-    b.set_conditioner(
-        tap,
-        cfg.plan
-            .wrap(TAP, Box::new(dsv_net::conditioner::PassThrough)),
-    );
-
-    let net = b.build();
+    let net = compiled.net;
     let mut queue = EventQueue::with_backend(cfg.backend);
     net.schedule_starts(&mut queue);
     let mut sim = Simulation { net, queue };
@@ -339,7 +369,7 @@ pub fn run_stream_chain(cfg: &StreamChainConfig) -> StreamOutcome {
     #[cfg(feature = "audit")]
     let audited = sim.net.audit().enabled();
 
-    sim.run_until(SimTime::ZERO + dsv_core::experiment::run_horizon(cfg.clip));
+    sim.run_until(SimTime::ZERO + horizon);
 
     #[cfg(feature = "audit")]
     let audit = audited.then(|| {
@@ -400,5 +430,16 @@ mod tests {
         });
         assert_eq!(wheel.delivered_ids, heap.delivered_ids);
         assert_eq!(wheel.end_time, heap.end_time);
+    }
+
+    #[test]
+    fn chain_spec_round_trips_and_names_resolve() {
+        let spec = chain_spec(&ChainConfig::default());
+        let value = serde::Serialize::to_value(&spec);
+        let back: ScenarioSpec = serde::Deserialize::from_value(&value).expect("round-trips");
+        assert_eq!(spec, back);
+        let compiled = compile(&spec, CompileOptions::default()).expect("compiles");
+        assert_eq!(compiled.ids.len(), 3);
+        assert_eq!(compiled.bounds.len(), 1);
     }
 }

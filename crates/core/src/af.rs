@@ -8,32 +8,27 @@
 //! AF green/yellow/red at the edge and shares a WRED-managed bottleneck
 //! with colored cross traffic; unlike EF's strict isolation, the video's
 //! quality now moves with the background load.
+//!
+//! The topology is declared by [`af_spec`] and lowered by the scenario
+//! compiler; nodes resolve by name, never by creation order.
 
-use dsv_diffserv::classifier::MatchRule;
-use dsv_diffserv::meter::SrTcm;
-use dsv_diffserv::policy::{PolicyAction, PolicyTable};
-use dsv_media::encoder::mpeg1;
 use dsv_media::scene::ClipId;
-use dsv_net::app::Shared;
-use dsv_net::link::Link;
-use dsv_net::network::{NetworkBuilder, Simulation};
-use dsv_net::packet::{Dscp, FlowId, NodeId};
-use dsv_net::qdisc::{DropTailQueue, QueueLimits};
-use dsv_net::traffic::{CountingSink, OnOffSource};
-use dsv_net::wred::WredQueue;
-use dsv_sim::{SimDuration, SimRng, SimTime};
-use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
-use dsv_stream::payload::StreamPayload;
-use dsv_stream::playback::PlaybackConfig;
-use dsv_stream::server::paced::{PacedConfig, PacedServer};
+use dsv_net::network::Simulation;
+use dsv_net::packet::FlowId;
+use dsv_scenario::{
+    compile, ActionSpec, AppSpec, CompileOptions, ConditionerSpec, CrossTrafficSpec, DscpSpec,
+    LimitsSpec, LinkParams, LinkSpec, MatchSpec, MediaRef, NodeSpec, QdiscSpec, RuleSpec,
+    ScenarioSpec, TransportSpec,
+};
+use dsv_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use std::time::Instant;
 
-use crate::artifacts::{self, Codec};
+use crate::artifacts::{self, ArtifactStore, Codec};
 use crate::experiment::{run_horizon, score_run_shared, RunOutcome};
 use crate::profile;
-use crate::qbone::ClipId2;
+use crate::qbone::{ClipId2, CodecSpec};
 
 /// Flow id of the media stream.
 pub const MEDIA_FLOW: FlowId = FlowId(1);
@@ -86,102 +81,154 @@ impl AfConfig {
     }
 }
 
-/// Run one AF streaming session and score it.
-pub fn run_af(cfg: &AfConfig) -> RunOutcome {
-    let clip_id: ClipId = cfg.clip.into();
-    let t_artifacts = Instant::now();
-    let clip = artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
-    profile::add_encode(t_artifacts.elapsed());
-    let mut rng = SimRng::seed_from_u64(cfg.seed);
+/// The AF experiment's colored background, as the same reusable
+/// cross-traffic fragment the other testbeds use.
+pub fn af_cross_traffic(cross_load_bps: u64) -> CrossTrafficSpec {
+    CrossTrafficSpec {
+        sink_name: "ct-sink".to_string(),
+        src_name: "ct-src".to_string(),
+        sink_attach: "egress".to_string(),
+        src_attach: "edge".to_string(),
+        link: LinkParams::fast_ethernet(),
+        flow: CT_FLOW.0,
+        packet_size: 1200,
+        peak_rate_bps: cross_load_bps * 2, // 50 % duty cycle → mean = load
+        mean_on_us: 150_000,
+        mean_off_us: 150_000,
+        stop_at_us: 220_000_000,
+        rng_fork: 5,
+    }
+}
 
-    let mut b = NetworkBuilder::<StreamPayload>::new();
-    let server_id = NodeId(3);
-    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
-        server: server_id,
-        up_flow: UP_FLOW,
-        frames: clip.frames.len() as u32,
-        kind_fn: mpeg1::frame_kind,
-        playback: PlaybackConfig::default(),
-        feedback_interval: None,
-        mode: ClientMode::Udp,
-    }));
-    let client = b.add_host("client", Box::new(client_app));
-    let egress = b.add_router("egress");
-    let edge = b.add_router("edge");
-    let server = b.add_host(
+/// The declarative AF scenario for `cfg`.
+pub fn af_spec(cfg: &AfConfig) -> ScenarioSpec {
+    let media = MediaRef {
+        clip: cfg.clip,
+        codec: CodecSpec::Mpeg1,
+        rate_bps: cfg.encoding_bps,
+    };
+    let mut spec = ScenarioSpec::new("af", cfg.seed);
+
+    spec.nodes.push(NodeSpec::host(
+        "client",
+        AppSpec::StreamClient {
+            server: "video-server".to_string(),
+            up_flow: UP_FLOW.0,
+            media,
+            transport: TransportSpec::Udp,
+            feedback_us: None,
+        },
+    ));
+    spec.nodes.push(NodeSpec::router("egress"));
+    spec.nodes.push(NodeSpec::router("edge"));
+    spec.nodes.push(NodeSpec::host(
         "video-server",
-        Box::new(PacedServer::new(
-            PacedConfig::new(client, MEDIA_FLOW, Dscp::BEST_EFFORT),
-            &clip,
-        )),
-    );
-    assert_eq!(server, server_id, "node creation order changed");
+        AppSpec::PacedServer {
+            client: "client".to_string(),
+            flow: MEDIA_FLOW.0,
+            dscp: DscpSpec::BestEffort,
+            media,
+        },
+    ));
 
-    b.connect(server, edge, Link::fast_ethernet());
-    b.connect(client, egress, Link::ethernet_10mbps());
+    spec.links.push(LinkSpec::simple(
+        "video-server",
+        "edge",
+        LinkParams::fast_ethernet(),
+    ));
+    spec.links.push(LinkSpec::simple(
+        "client",
+        "egress",
+        LinkParams::ethernet_10mbps(),
+    ));
 
-    // The shared bottleneck with a WRED-managed buffer.
-    let bottleneck = Link::new(cfg.bottleneck_bps, SimDuration::from_millis(5));
-    b.connect_with(
-        edge,
-        egress,
-        bottleneck,
-        bottleneck,
-        Box::new(WredQueue::af_default(120_000, cfg.seed ^ 0xAF)),
-        Box::new(DropTailQueue::new(QueueLimits::UNBOUNDED)),
-    );
+    // The shared bottleneck with a WRED-managed buffer toward the client;
+    // the return path is a plain unbounded FIFO.
+    let bottleneck = LinkParams {
+        rate_bps: cfg.bottleneck_bps,
+        propagation_ns: 5_000_000,
+    };
+    spec.links.push(LinkSpec {
+        a: "edge".to_string(),
+        b: "egress".to_string(),
+        ab: bottleneck,
+        ba: bottleneck,
+        qdisc_ab: QdiscSpec::Wred {
+            capacity_bytes: 120_000,
+            seed: cfg.seed ^ 0xAF,
+        },
+        qdisc_ba: QdiscSpec::DropTail {
+            limits: LimitsSpec::UNBOUNDED,
+        },
+    });
 
     // Edge conditioning: srTCM-color the video into AF class 1, and give
     // the cross traffic its own profile in the same class (other
     // customers' in-profile traffic shares the green pool).
-    let table = PolicyTable::new()
-        .with(
-            MatchRule::src_dst(server, client),
-            PolicyAction::MeterAf {
-                meter: SrTcm::new(cfg.cir_bps, cfg.cbs_bytes, cfg.ebs_bytes),
-                class: 1,
+    spec.conditioners.push(ConditionerSpec {
+        node: "edge".to_string(),
+        tap: Some("edge".to_string()),
+        rules: vec![
+            RuleSpec {
+                matches: MatchSpec::src_dst("video-server", "client"),
+                action: ActionSpec::MeterAf {
+                    cir_bps: cfg.cir_bps,
+                    cbs_bytes: cfg.cbs_bytes,
+                    ebs_bytes: cfg.ebs_bytes,
+                    class: 1,
+                },
             },
-        )
-        .with(
-            MatchRule {
-                flow: Some(CT_FLOW),
-                ..MatchRule::ANY
+            RuleSpec {
+                matches: MatchSpec::flow(CT_FLOW.0),
+                action: ActionSpec::MeterAf {
+                    cir_bps: cfg.cross_cir_bps.max(1),
+                    cbs_bytes: 30_000,
+                    ebs_bytes: 30_000,
+                    class: 1,
+                },
             },
-            PolicyAction::MeterAf {
-                meter: SrTcm::new(cfg.cross_cir_bps.max(1), 30_000, 30_000),
-                class: 1,
-            },
-        );
-    b.set_conditioner(edge, Box::new(table));
+        ],
+    });
 
     // Cross traffic entering at the edge (where its own profile colors
     // it) and sharing the bottleneck.
     if cfg.cross_load_bps > 0 {
-        let ct_sink = b.add_host("ct-sink", Box::new(CountingSink::default()));
-        b.connect(ct_sink, egress, Link::fast_ethernet());
-        let ct_src = b.add_host(
-            "ct-src",
-            Box::new(OnOffSource::new(
-                ct_sink,
-                CT_FLOW,
-                1200,
-                cfg.cross_load_bps * 2, // 50 % duty cycle → mean = load
-                SimDuration::from_millis(150),
-                SimDuration::from_millis(150),
-                Dscp::BEST_EFFORT,
-                SimTime::from_secs(220),
-                rng.fork(5),
-            )),
-        );
-        b.connect(ct_src, edge, Link::fast_ethernet());
+        af_cross_traffic(cfg.cross_load_bps).attach(&mut spec);
     }
 
-    let mut sim = Simulation::new(b.build());
-    // Under `DSV_AUDIT=1`: lifecycle oracles only — the srTCM meter colors
-    // but never drops, so there is no admission bound to register.
-    crate::auditing::arm(&mut sim, &[]);
+    // No audit bounds: the srTCM meter colors but never drops, so there
+    // is no admission bound to register.
+    spec.horizon_ns = Some(run_horizon(cfg.clip.into()).as_nanos());
+    spec
+}
+
+/// Run one AF streaming session and score it.
+pub fn run_af(cfg: &AfConfig) -> RunOutcome {
+    let clip_id: ClipId = cfg.clip.into();
+    let t_artifacts = Instant::now();
+    artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
+    profile::add_encode(t_artifacts.elapsed());
+
+    let spec = af_spec(cfg);
+    let compiled = compile(
+        &spec,
+        CompileOptions {
+            store: Some(&ArtifactStore),
+            wrap: None,
+        },
+    )
+    .expect("af spec compiles");
+    let client_handle = compiled
+        .sole_client()
+        .expect("af scenario has one client")
+        .clone();
+    let horizon = compiled.horizon.expect("af spec sets a horizon");
+    let bounds = compiled.bounds.clone();
+
+    let mut sim = Simulation::new(compiled.net);
+    crate::auditing::arm(&mut sim, &bounds);
     let t_sim = Instant::now();
-    let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+    let stats = sim.run_until(SimTime::ZERO + horizon);
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
     profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
     crate::auditing::finish(&mut sim, "af run");

@@ -186,6 +186,27 @@ pub fn encoding(clip: ClipId, codec: Codec, rate_bps: u64) -> Arc<EncodedClip> {
     })
 }
 
+/// The memoized artifact store, as the scenario compiler's clip
+/// resolver: every `MediaRef` in a [`dsv_scenario::ScenarioSpec`] lowers
+/// through [`encoding`], so compiling a spec costs nothing beyond the
+/// first (shared) encode of each `(clip, codec, rate)` key.
+pub struct ArtifactStore;
+
+impl dsv_scenario::ClipStore for ArtifactStore {
+    fn encoding(
+        &self,
+        clip: dsv_scenario::ClipId2,
+        codec: dsv_scenario::CodecSpec,
+        rate_bps: u64,
+    ) -> Arc<EncodedClip> {
+        let codec = match codec {
+            dsv_scenario::CodecSpec::Mpeg1 => Codec::Mpeg1,
+            dsv_scenario::CodecSpec::Wmv => Codec::Wmv,
+        };
+        encoding(clip.into(), codec, rate_bps)
+    }
+}
+
 /// The decoded feature stream of an encoding — the VQM reference for that
 /// encoding (depends on: clip, codec, rate). This is the artifact that
 /// `score_vs_best` runs share: the 1.7 Mbps reference is computed once,

@@ -4,7 +4,12 @@
 //! dsv qbone --clip lost --encoding 1500000 --rate 1600000 --depth 3000 [--vs-best] [--cross-traffic] [--bursty|--multirate]
 //! dsv local --clip dark --rate 1300000 --depth 4500 [--tcp] [--shaped] [--cross-traffic] [--multi-rate-tiers]
 //! dsv af    --clip lost --encoding 1500000 --cross-load 5000000 [--cross-cir 3500000]
+//! dsv run   --scenario examples/scenario_qbone.json
 //! ```
+//!
+//! The first three subcommands run the paper's fixed testbeds. `run`
+//! compiles an arbitrary declarative [`dsv_scenario::ScenarioSpec`] from
+//! a JSON file and reports per-flow and per-client statistics.
 //!
 //! Prints the run outcome as aligned text and, with `--json`, as a JSON
 //! object on stdout.
@@ -12,10 +17,11 @@
 use std::process::exit;
 
 use dsv_core::prelude::*;
+use serde::Serialize;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dsv qbone --clip <lost|dark> --encoding <bps> --rate <bps> --depth <bytes> \\\n            [--vs-best] [--cross-traffic] [--bursty|--multirate] [--seed N] [--json]\n  dsv local --clip <lost|dark> --rate <bps> --depth <bytes> \\\n            [--tcp] [--shaped] [--cross-traffic] [--multi-rate-tiers] [--seed N] [--json]\n  dsv af    --clip <lost|dark> --encoding <bps> --cross-load <bps> [--cross-cir <bps>] [--json]"
+        "usage:\n  dsv qbone --clip <lost|dark> --encoding <bps> --rate <bps> --depth <bytes> \\\n            [--vs-best] [--cross-traffic] [--bursty|--multirate] [--seed N] [--json]\n  dsv local --clip <lost|dark> --rate <bps> --depth <bytes> \\\n            [--tcp] [--shaped] [--cross-traffic] [--multi-rate-tiers] [--seed N] [--json]\n  dsv af    --clip <lost|dark> --encoding <bps> --cross-load <bps> [--cross-cir <bps>] [--json]\n  dsv run   --scenario <spec.json> [--json]"
     );
     exit(2)
 }
@@ -94,6 +100,145 @@ fn print_outcome(out: &RunOutcome, json: bool) {
     }
 }
 
+/// Summary of one flow's counters after a scenario run.
+#[derive(Serialize)]
+struct FlowSummary {
+    flow: u32,
+    tx_packets: u64,
+    rx_packets: u64,
+    drops: u64,
+    mean_delay_ms: f64,
+}
+
+/// Summary of one stream client after a scenario run.
+#[derive(Serialize)]
+struct ClientSummary {
+    node: String,
+    frames: u32,
+    frame_loss: f64,
+    packets_received: u64,
+}
+
+/// Summary of one id-recording sink after a scenario run.
+#[derive(Serialize)]
+struct SinkSummary {
+    node: String,
+    delivered: u64,
+}
+
+/// Everything `dsv run` reports about a scenario run.
+#[derive(Serialize)]
+struct ScenarioSummary {
+    scenario: String,
+    end_time_secs: f64,
+    events: u64,
+    flows: Vec<FlowSummary>,
+    clients: Vec<ClientSummary>,
+    sinks: Vec<SinkSummary>,
+}
+
+/// Compile and run a [`dsv_scenario::ScenarioSpec`] from a JSON file.
+fn run_scenario(path: &str, json: bool) {
+    use dsv_net::network::Simulation;
+    use dsv_scenario::{compile, CompileOptions, ScenarioSpec};
+    use dsv_sim::SimTime;
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(2)
+    });
+    let spec: ScenarioSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("invalid scenario spec {path}: {e}");
+        exit(2)
+    });
+    let compiled = compile(
+        &spec,
+        CompileOptions {
+            store: Some(&dsv_core::artifacts::ArtifactStore),
+            wrap: None,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    });
+
+    let clients = compiled.clients.clone();
+    let sinks = compiled.id_sinks.clone();
+    let horizon = compiled.horizon;
+    let mut sim = Simulation::new(compiled.net);
+    let stats = match horizon {
+        Some(h) => sim.run_until(SimTime::ZERO + h),
+        None => sim.run(),
+    };
+
+    let summary = ScenarioSummary {
+        scenario: spec.name.clone(),
+        end_time_secs: stats.end_time.as_secs_f64(),
+        events: stats.dispatched,
+        flows: sim
+            .net
+            .stats
+            .flows()
+            .map(|(f, c)| FlowSummary {
+                flow: f.0,
+                tx_packets: c.tx_packets,
+                rx_packets: c.rx_packets,
+                drops: c.drops.values().sum(),
+                mean_delay_ms: c.delay.mean().as_millis_f64(),
+            })
+            .collect(),
+        clients: clients
+            .iter()
+            .map(|(name, h)| {
+                let rep = h.borrow().report();
+                ClientSummary {
+                    node: name.clone(),
+                    frames: rep.received.len() as u32,
+                    frame_loss: rep.frame_loss_fraction(),
+                    packets_received: rep.packets_received,
+                }
+            })
+            .collect(),
+        sinks: sinks
+            .iter()
+            .map(|(name, h)| SinkSummary {
+                node: name.clone(),
+                delivered: h.borrow().ids.len() as u64,
+            })
+            .collect(),
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serialize")
+        );
+        return;
+    }
+    println!("scenario              : {}", summary.scenario);
+    println!("simulated time        : {:.3} s", summary.end_time_secs);
+    println!("events dispatched     : {}", summary.events);
+    for f in &summary.flows {
+        println!(
+            "flow {:>4}             : tx {} rx {} drops {} mean delay {:.2} ms",
+            f.flow, f.tx_packets, f.rx_packets, f.drops, f.mean_delay_ms
+        );
+    }
+    for c in &summary.clients {
+        println!(
+            "client {:<12}   : {} frames, {:.2} % frame loss, {} packets",
+            c.node,
+            c.frames,
+            100.0 * c.frame_loss,
+            c.packets_received
+        );
+    }
+    for s in &summary.sinks {
+        println!("sink {:<14}   : {} packets delivered", s.node, s.delivered);
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else { usage() };
@@ -141,6 +286,14 @@ fn main() {
             cfg.multi_rate = args.flag("--multi-rate-tiers");
             cfg.seed = args.u64_or("--seed", cfg.seed);
             run_local(&cfg)
+        }
+        "run" => {
+            let path = args.value("--scenario").unwrap_or_else(|| {
+                eprintln!("missing required option --scenario");
+                usage()
+            });
+            run_scenario(path, json);
+            return;
         }
         "af" => {
             let mut cfg = AfConfig::new(

@@ -22,6 +22,7 @@ use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
+use crate::aggregate::{AggregateConfig, AggregateOutcome};
 use crate::experiment::{EfProfile, RunOutcome};
 use crate::local::LocalConfig;
 use crate::qbone::QboneConfig;
@@ -183,6 +184,86 @@ pub fn golden_local_sweep(
         }
     }
     assemble_sweep(golden_outcomes(name, &jobs), rates, depths, label)
+}
+
+/// On-disk format of a golden aggregate-sweep file (same rules as
+/// [`GoldenFile`], different outcome shape).
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenAggregateFile {
+    /// FNV-1a (hex) over the generating configs' canonical JSON.
+    config_fnv: String,
+    /// Number of configs.
+    jobs: usize,
+    /// One aggregate outcome per config, in config order.
+    outcomes: Vec<AggregateOutcome>,
+}
+
+/// Checksum over the aggregate configs that generate a golden file.
+fn aggregate_fnv(cfgs: &[AggregateConfig]) -> String {
+    let mut bytes = Vec::new();
+    for cfg in cfgs {
+        bytes.extend_from_slice(b"aggregate");
+        bytes.push(0);
+        let json = serde_json::to_string(cfg).expect("config serializes");
+        bytes.extend_from_slice(json.as_bytes());
+        bytes.push(0xff);
+    }
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+/// Golden-backed EF-aggregate outcomes: the multi-flow analogue of
+/// [`golden_outcomes`], with the same load-else-simulate and staleness
+/// rules over `results/<name>.json`.
+///
+/// # Panics
+/// Panics on a stale or unreadable golden — regenerate deliberately with
+/// `DSV_REGEN=1`.
+pub fn golden_aggregate(name: &str, cfgs: &[AggregateConfig]) -> Vec<AggregateOutcome> {
+    let path = results_dir().join(format!("{name}.json"));
+    let sum = aggregate_fnv(cfgs);
+
+    if !regen_requested() {
+        if let Ok(text) = fs::read_to_string(&path) {
+            let file: GoldenAggregateFile = serde_json::from_str(&text).unwrap_or_else(|e| {
+                panic!(
+                    "golden {} is unreadable ({e}); regenerate with DSV_REGEN=1",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                file.config_fnv,
+                sum,
+                "stale golden {}: it was generated from different aggregate \
+                 configurations (checksum {} on disk, {} expected). The tested \
+                 grid changed — rerun with DSV_REGEN=1 and commit the result.",
+                path.display(),
+                file.config_fnv,
+                sum
+            );
+            assert_eq!(
+                file.outcomes.len(),
+                cfgs.len(),
+                "golden {}: outcome count mismatch despite matching checksum",
+                path.display()
+            );
+            return file.outcomes;
+        }
+    }
+
+    let outcomes = Runner::from_env().run_aggregate_batch(cfgs);
+    let file = GoldenAggregateFile {
+        config_fnv: sum,
+        jobs: cfgs.len(),
+        outcomes: outcomes.clone(),
+    };
+    let text = serde_json::to_string_pretty(&file).expect("golden serializes");
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, &text).expect("write golden temp file");
+    fs::rename(&tmp, &path).expect("publish golden file");
+    outcomes
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod af;
+pub mod aggregate;
 pub mod analysis;
 pub mod artifacts;
 pub mod auditing;
@@ -38,6 +39,7 @@ pub mod sweep;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::af::{run_af, AfConfig};
+    pub use crate::aggregate::{run_aggregate, AggregateConfig, AggregateOutcome};
     pub use crate::analysis::{
         crossing_rate, cutoff_rate, max_quality_per_loss_slope, mostly_monotone_decreasing,
         quality_area,
@@ -46,7 +48,9 @@ pub mod prelude {
         encoded_features, received_features, received_features_from, run_horizon, score_run,
         score_run_shared, EfProfile, RunOutcome, DEPTH_2MTU, DEPTH_3MTU,
     };
-    pub use crate::golden::{golden_local_sweep, golden_outcomes, golden_qbone_sweep};
+    pub use crate::golden::{
+        golden_aggregate, golden_local_sweep, golden_outcomes, golden_qbone_sweep,
+    };
     pub use crate::local::{run_local, run_local_detailed, LocalConfig, LocalTransport};
     pub use crate::profile::ProfileSnapshot;
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};

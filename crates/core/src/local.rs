@@ -8,34 +8,29 @@
 //! priority. A Linux workstation between the server and router 1 can
 //! optionally shape the stream to the same profile before it reaches the
 //! policer. Transport is UDP (the adaptive WMT server) or mini-TCP.
+//!
+//! The topology is declared by [`local_spec`] and lowered by the scenario
+//! compiler; nodes resolve by name, never by creation order.
 
-use dsv_diffserv::classifier::MatchRule;
-use dsv_diffserv::policer::Policer;
-use dsv_diffserv::policy::{PolicyAction, PolicyTable};
-use dsv_diffserv::shaper::Shaper;
 use dsv_media::encoder::wmv;
 use dsv_media::scene::ClipId;
-use dsv_net::app::Shared;
 use dsv_net::frame_relay::table1;
-use dsv_net::link::Link;
-use dsv_net::network::{NetworkBuilder, Simulation};
-use dsv_net::packet::{Dscp, FlowId, NodeId};
-use dsv_net::qdisc::{QueueLimits, StrictPriorityQueue};
-use dsv_net::traffic::{CountingSink, OnOffSource};
-use dsv_sim::{SimDuration, SimRng, SimTime};
-use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
-use dsv_stream::payload::StreamPayload;
-use dsv_stream::playback::PlaybackConfig;
-use dsv_stream::server::adaptive::{AdaptiveConfig, AdaptiveServer};
-use dsv_stream::server::tcp_server::{TcpServerConfig, TcpStreamServer};
+use dsv_net::network::Simulation;
+use dsv_net::packet::FlowId;
+use dsv_scenario::{
+    compile, ActionSpec, AppSpec, BoundSpec, CompileOptions, ConditionerSpec, CrossTrafficSpec,
+    DscpSpec, LimitsSpec, LinkParams, LinkSpec, MatchSpec, MediaRef, NodeSpec, QdiscSpec, RuleSpec,
+    ScenarioSpec, TransportSpec,
+};
+use dsv_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use std::time::Instant;
 
-use crate::artifacts::{self, Codec};
+use crate::artifacts::{self, ArtifactStore, Codec};
 use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
 use crate::profile;
-use crate::qbone::ClipId2;
+use crate::qbone::{ClipId2, CodecSpec};
 
 /// Flow id of the media stream.
 pub const MEDIA_FLOW: FlowId = FlowId(1);
@@ -93,6 +88,174 @@ impl LocalConfig {
     }
 }
 
+/// The adaptive server's low-rate fallback tier (bps).
+pub const LOW_TIER_BPS: u64 = 300_000;
+
+/// The local testbed's pre-policer jitter source, as the same reusable
+/// cross-traffic fragment the QBone backbone uses.
+pub fn local_cross_traffic() -> CrossTrafficSpec {
+    CrossTrafficSpec {
+        sink_name: "ct-sink".to_string(),
+        src_name: "jitter-src".to_string(),
+        sink_attach: "router3".to_string(),
+        src_attach: "linux-shaper".to_string(),
+        link: LinkParams::ethernet_10mbps(),
+        flow: JITTER_FLOW.0,
+        packet_size: 1500,
+        peak_rate_bps: 5_000_000,
+        mean_on_us: 50_000,
+        mean_off_us: 300_000,
+        stop_at_us: 200_000_000,
+        rng_fork: 2,
+    }
+}
+
+/// The declarative local-testbed scenario for `cfg` (paper Figure 4 as
+/// data).
+pub fn local_spec(cfg: &LocalConfig) -> ScenarioSpec {
+    let media = MediaRef {
+        clip: cfg.clip,
+        codec: CodecSpec::Wmv,
+        rate_bps: cfg.cap_bps,
+    };
+    let mut spec = ScenarioSpec::new("local", cfg.seed);
+
+    let (transport, feedback_us) = match cfg.transport {
+        LocalTransport::Udp => (TransportSpec::Udp, Some(1_000_000)),
+        LocalTransport::Tcp => (TransportSpec::Tcp, None),
+    };
+    spec.nodes.push(NodeSpec::host(
+        "client",
+        AppSpec::StreamClient {
+            server: "wmt-server".to_string(),
+            up_flow: UP_FLOW.0,
+            media,
+            transport,
+            feedback_us,
+        },
+    ));
+    spec.nodes.push(NodeSpec::router("router3"));
+    spec.nodes.push(NodeSpec::router("router2"));
+    spec.nodes.push(NodeSpec::router("router1"));
+    spec.nodes.push(NodeSpec::router("linux-shaper"));
+    let server_app = match cfg.transport {
+        LocalTransport::Udp => AppSpec::AdaptiveServer {
+            client: "client".to_string(),
+            flow: MEDIA_FLOW.0,
+            dscp: DscpSpec::BestEffort,
+            tiers: if cfg.multi_rate {
+                vec![
+                    MediaRef {
+                        clip: cfg.clip,
+                        codec: CodecSpec::Wmv,
+                        rate_bps: LOW_TIER_BPS,
+                    },
+                    media,
+                ]
+            } else {
+                vec![media]
+            },
+        },
+        LocalTransport::Tcp => AppSpec::TcpServer {
+            client: "client".to_string(),
+            flow: MEDIA_FLOW.0,
+            dscp: DscpSpec::BestEffort,
+            media,
+        },
+    };
+    spec.nodes.push(NodeSpec::host("wmt-server", server_app));
+
+    // Links per Figure 4. Ethernet hubs for local connectivity; the FR
+    // circuits from Table 1 as constant-rate serial links; EF priority
+    // queues on the FR-facing ports.
+    let prio = QdiscSpec::StrictPriorityEf {
+        ef: LimitsSpec::bytes(60_000),
+        be: LimitsSpec::packets(50),
+    };
+    spec.links.push(LinkSpec::simple(
+        "client",
+        "router3",
+        LinkParams::ethernet_10mbps(),
+    ));
+    let v35 = LinkParams::from_link(table1::router3_fr0().as_link(SimDuration::from_micros(500)));
+    spec.links
+        .push(LinkSpec::symmetric("router2", "router3", v35, prio));
+    let hssi = LinkParams::from_link(table1::router2_fr1().as_link(SimDuration::from_micros(500)));
+    spec.links
+        .push(LinkSpec::symmetric("router1", "router2", hssi, prio));
+    spec.links.push(LinkSpec::simple(
+        "linux-shaper",
+        "router1",
+        LinkParams::ethernet_10mbps(),
+    ));
+    spec.links.push(LinkSpec::simple(
+        "wmt-server",
+        "linux-shaper",
+        LinkParams::ethernet_10mbps(),
+    ));
+
+    // Router 1: classify server→client, police to the EF profile, mark
+    // conformant packets EF, drop the rest (paper §3.2.1.2).
+    spec.conditioners.push(ConditionerSpec {
+        node: "router1".to_string(),
+        tap: Some("policer".to_string()),
+        rules: vec![RuleSpec {
+            matches: MatchSpec::src_dst("wmt-server", "client"),
+            action: ActionSpec::Police {
+                rate_bps: cfg.profile.token_rate_bps,
+                depth_bytes: cfg.profile.bucket_depth_bytes,
+                conform_mark: Some(DscpSpec::Ef),
+            },
+        }],
+    });
+
+    // The Linux workstation shapes the stream to the same profile before
+    // it reaches the policer, when enabled. The delay buffer is modest,
+    // as Linux tc-tbf defaults use: big enough to absorb bursts, small
+    // enough not to bufferbloat TCP recovery.
+    if cfg.shaped {
+        spec.conditioners.push(ConditionerSpec {
+            node: "linux-shaper".to_string(),
+            tap: Some("shaper".to_string()),
+            rules: vec![RuleSpec {
+                matches: MatchSpec::src_dst("wmt-server", "client"),
+                action: ActionSpec::Shape {
+                    rate_bps: cfg.profile.token_rate_bps,
+                    depth_bytes: cfg.profile.bucket_depth_bytes,
+                    max_queue_bytes: 64 * 1024,
+                },
+            }],
+        });
+    }
+
+    // Optional interfering traffic: a bursty best-effort source whose path
+    // shares the server's LAN segment ahead of the policer (the jitter
+    // interaction the paper highlights) and then the FR circuits.
+    if cfg.cross_traffic {
+        local_cross_traffic().attach(&mut spec);
+    }
+
+    // Audit bounds: the EF policer's admission bound at router 1 — and,
+    // when shaping, the same bound at the Linux workstation's egress (a
+    // conformant shaper must respect the very profile it shapes to).
+    spec.bounds.push(BoundSpec {
+        node: "router1".to_string(),
+        flow: MEDIA_FLOW.0,
+        rate_bps: cfg.profile.token_rate_bps,
+        depth_bytes: cfg.profile.bucket_depth_bytes,
+    });
+    if cfg.shaped {
+        spec.bounds.push(BoundSpec {
+            node: "linux-shaper".to_string(),
+            flow: MEDIA_FLOW.0,
+            rate_bps: cfg.profile.token_rate_bps,
+            depth_bytes: cfg.profile.bucket_depth_bytes,
+        });
+    }
+    spec.horizon_ns = Some((run_horizon(cfg.clip.into()) + SimDuration::from_secs(30)).as_nanos());
+    spec
+}
+
 /// Run one local-testbed session and score it.
 pub fn run_local(cfg: &LocalConfig) -> RunOutcome {
     run_local_detailed(cfg).0
@@ -102,166 +265,36 @@ pub fn run_local(cfg: &LocalConfig) -> RunOutcome {
 /// times, decodability, playback schedule) for deeper analysis.
 pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client::ClientReport) {
     let clip_id: ClipId = cfg.clip.into();
+    // Warm the artifact store so the encode cost is attributed to the
+    // encode phase; the compile below then resolves media for free.
     let t_artifacts = Instant::now();
-    let clip = artifacts::encoding(clip_id, Codec::Wmv, cfg.cap_bps);
+    artifacts::encoding(clip_id, Codec::Wmv, cfg.cap_bps);
+    if cfg.transport == LocalTransport::Udp && cfg.multi_rate {
+        artifacts::encoding(clip_id, Codec::Wmv, LOW_TIER_BPS);
+    }
     profile::add_encode(t_artifacts.elapsed());
-    let mut rng = SimRng::seed_from_u64(cfg.seed);
 
-    let mut b = NetworkBuilder::<StreamPayload>::new();
-
-    let frames = clip.frames.len() as u32;
-    let server_id = NodeId(5);
-    let client_mode = match cfg.transport {
-        LocalTransport::Udp => ClientMode::Udp,
-        LocalTransport::Tcp => ClientMode::Tcp {
-            frame_bytes: clip.frames.iter().map(|f| f.bytes).collect(),
-            fidelities: clip.frames.iter().map(|f| f.fidelity).collect(),
+    let spec = local_spec(cfg);
+    let compiled = compile(
+        &spec,
+        CompileOptions {
+            store: Some(&ArtifactStore),
+            wrap: None,
         },
-    };
-    let feedback = match cfg.transport {
-        LocalTransport::Udp => Some(SimDuration::from_secs(1)),
-        LocalTransport::Tcp => None,
-    };
-    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
-        server: server_id,
-        up_flow: UP_FLOW,
-        frames,
-        kind_fn: wmv::frame_kind,
-        playback: PlaybackConfig::default(),
-        feedback_interval: feedback,
-        mode: client_mode,
-    }));
+    )
+    .expect("local spec compiles");
+    let client_handle = compiled
+        .sole_client()
+        .expect("local scenario has one client")
+        .clone();
+    let adaptive_handle = compiled.adaptives.first().map(|(_, h)| h.clone());
+    let horizon = compiled.horizon.expect("local spec sets a horizon");
+    let bounds = compiled.bounds.clone();
 
-    let client = b.add_host("client", Box::new(client_app));
-    let r3 = b.add_router("router3");
-    let r2 = b.add_router("router2");
-    let r1 = b.add_router("router1");
-    let linux = b.add_router("linux-shaper");
-
-    // The server application.
-    let mut adaptive_handle = None;
-    let server = match cfg.transport {
-        LocalTransport::Udp => {
-            let tiers = if cfg.multi_rate {
-                let t_tier = Instant::now();
-                let low = artifacts::encoding(clip_id, Codec::Wmv, 300_000);
-                profile::add_encode(t_tier.elapsed());
-                vec![(*low).clone(), (*clip).clone()]
-            } else {
-                vec![(*clip).clone()]
-            };
-            let (h, app) = Shared::new(AdaptiveServer::new(
-                AdaptiveConfig::new(client, MEDIA_FLOW, Dscp::BEST_EFFORT),
-                tiers,
-            ));
-            adaptive_handle = Some(h);
-            b.add_host("wmt-server", Box::new(app))
-        }
-        LocalTransport::Tcp => b.add_host(
-            "wmt-server",
-            Box::new(TcpStreamServer::new(
-                TcpServerConfig::new(client, MEDIA_FLOW, Dscp::BEST_EFFORT),
-                &clip,
-            )),
-        ),
-    };
-    assert_eq!(server, server_id, "node creation order changed");
-
-    // Links per Figure 4. Ethernet hubs for local connectivity; the FR
-    // circuits from Table 1 as constant-rate serial links; EF priority
-    // queues on the FR-facing ports.
-    let prio = || {
-        Box::new(StrictPriorityQueue::ef_default(
-            QueueLimits::bytes(60_000),
-            QueueLimits::packets(50),
-        ))
-    };
-    b.connect(client, r3, Link::ethernet_10mbps());
-    let v35 = table1::router3_fr0().as_link(SimDuration::from_micros(500));
-    b.connect_with(r2, r3, v35, v35, prio(), prio());
-    let hssi = table1::router2_fr1().as_link(SimDuration::from_micros(500));
-    b.connect_with(r1, r2, hssi, hssi, prio(), prio());
-    b.connect(linux, r1, Link::ethernet_10mbps());
-    b.connect(server, linux, Link::ethernet_10mbps());
-
-    // Router 1: classify server→client, police to the EF profile, mark
-    // conformant packets EF, drop the rest (paper §3.2.1.2).
-    let policer = Policer::new(
-        dsv_diffserv::token_bucket::TokenBucket::new(
-            cfg.profile.token_rate_bps,
-            cfg.profile.bucket_depth_bytes,
-        ),
-        Some(Dscp::EF),
-        dsv_diffserv::policer::ExceedAction::Drop,
-    );
-    let table = PolicyTable::new().with(
-        MatchRule::src_dst(server, client),
-        PolicyAction::Police(policer),
-    );
-    b.set_conditioner(r1, Box::new(table));
-
-    // The Linux workstation shapes the stream to the same profile before
-    // it reaches the policer, when enabled.
-    if cfg.shaped {
-        // A modest delay buffer, as Linux tc-tbf defaults use: big enough
-        // to absorb bursts, small enough not to bufferbloat TCP recovery.
-        let shaper: Shaper<StreamPayload> = Shaper::new(
-            cfg.profile.token_rate_bps,
-            cfg.profile.bucket_depth_bytes,
-            64 * 1024,
-        );
-        let table = PolicyTable::new().with(
-            MatchRule::src_dst(server, client),
-            PolicyAction::Shape(shaper),
-        );
-        b.set_conditioner(linux, Box::new(table));
-    }
-
-    // Optional interfering traffic: a bursty best-effort source whose path
-    // shares the server's LAN segment ahead of the policer (the jitter
-    // interaction the paper highlights) and then the FR circuits.
-    if cfg.cross_traffic {
-        let ct_sink = b.add_host("ct-sink", Box::new(CountingSink::default()));
-        b.connect(ct_sink, r3, Link::ethernet_10mbps());
-        let jitter_src = b.add_host(
-            "jitter-src",
-            Box::new(OnOffSource::new(
-                ct_sink,
-                JITTER_FLOW,
-                1500,
-                5_000_000,
-                SimDuration::from_millis(50),
-                SimDuration::from_millis(300),
-                Dscp::BEST_EFFORT,
-                SimTime::from_secs(200),
-                rng.fork(2),
-            )),
-        );
-        b.connect(jitter_src, linux, Link::ethernet_10mbps());
-    }
-
-    let mut sim = Simulation::new(b.build());
-    // Under `DSV_AUDIT=1`: lifecycle oracles plus the EF policer's
-    // admission bound at router 1 — and, when shaping, the same bound at
-    // the Linux workstation's egress (a conformant shaper must respect
-    // the very profile it shapes to).
-    let mut bounds = vec![(
-        r1,
-        MEDIA_FLOW,
-        cfg.profile.token_rate_bps,
-        cfg.profile.bucket_depth_bytes,
-    )];
-    if cfg.shaped {
-        bounds.push((
-            linux,
-            MEDIA_FLOW,
-            cfg.profile.token_rate_bps,
-            cfg.profile.bucket_depth_bytes,
-        ));
-    }
+    let mut sim = Simulation::new(compiled.net);
     crate::auditing::arm(&mut sim, &bounds);
     let t_sim = Instant::now();
-    let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id) + SimDuration::from_secs(30));
+    let stats = sim.run_until(SimTime::ZERO + horizon);
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
     profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
     crate::auditing::finish(&mut sim, "local run");

@@ -9,28 +9,26 @@
 //! traffic exercises the priority queues without disturbing EF — matching
 //! the paper's observation that interfering traffic caused "only minor
 //! variations".
+//!
+//! The topology itself lives in [`qbone_spec`]: a declarative
+//! [`ScenarioSpec`] the scenario compiler lowers with name-based node
+//! resolution, so this module never handles a raw `NodeId`.
 
 use std::time::Instant;
 
-use dsv_diffserv::classifier::MatchRule;
-use dsv_diffserv::policer::Policer;
-use dsv_diffserv::policy::{PolicyAction, PolicyTable};
-use dsv_media::encoder::{mpeg1, EncodedClip};
 use dsv_media::scene::ClipId;
-use dsv_net::app::Shared;
-use dsv_net::link::Link;
-use dsv_net::network::{NetworkBuilder, Simulation};
-use dsv_net::packet::{Dscp, FlowId, NodeId};
-use dsv_net::qdisc::{QueueLimits, StrictPriorityQueue};
-use dsv_net::traffic::{CountingSink, OnOffSource};
-use dsv_sim::{SimDuration, SimRng, SimTime};
-use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
-use dsv_stream::payload::StreamPayload;
-use dsv_stream::playback::PlaybackConfig;
-use dsv_stream::server::paced::{PacedConfig, PacedServer};
+use dsv_net::network::Simulation;
+use dsv_net::packet::FlowId;
+use dsv_scenario::{
+    compile, ActionSpec, AppSpec, BoundSpec, CompileOptions, ConditionerSpec, CrossTrafficSpec,
+    DscpSpec, LimitsSpec, LinkParams, LinkSpec, MatchSpec, MediaRef, NodeSpec, QdiscSpec, RuleSpec,
+    ScenarioSpec, TransportSpec,
+};
+pub use dsv_scenario::{ClipId2, CodecSpec};
+use dsv_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
-use crate::artifacts::{self, Codec};
+use crate::artifacts::{self, ArtifactStore, Codec};
 use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
 use crate::profile;
 
@@ -75,25 +73,6 @@ pub enum QboneServer {
     MultiRatePaced,
 }
 
-/// Serializable mirror of [`ClipId`] (keeps `dsv-media` serde-free).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[allow(missing_docs)]
-pub enum ClipId2 {
-    Lost,
-    Dark,
-    Talk,
-}
-
-impl From<ClipId2> for ClipId {
-    fn from(c: ClipId2) -> ClipId {
-        match c {
-            ClipId2::Lost => ClipId::Lost,
-            ClipId2::Dark => ClipId::Dark,
-            ClipId2::Talk => ClipId::Talk,
-        }
-    }
-}
-
 impl QboneConfig {
     /// A standard run: Lost at 1.7 Mbps with the given profile.
     pub fn new(clip: ClipId2, encoding_bps: u64, profile: EfProfile) -> QboneConfig {
@@ -109,6 +88,159 @@ impl QboneConfig {
     }
 }
 
+/// The multi-rate server's encoding tiers (the paper's three rates).
+pub const QBONE_TIERS: [u64; 3] = [1_000_000, 1_500_000, 1_700_000];
+
+/// The QBone backbone's background load as a reusable cross-traffic
+/// fragment (the same [`CrossTrafficSpec`] shape serves the local
+/// testbed's jitter source and the AF experiment's colored background).
+pub fn qbone_cross_traffic() -> CrossTrafficSpec {
+    CrossTrafficSpec {
+        sink_name: "ct-sink".to_string(),
+        src_name: "ct-src".to_string(),
+        sink_attach: "core2".to_string(),
+        src_attach: "core1".to_string(),
+        link: LinkParams::fast_ethernet(),
+        flow: CT_FLOW.0,
+        packet_size: 1000,
+        peak_rate_bps: 30_000_000,
+        mean_on_us: 200_000,
+        mean_off_us: 200_000,
+        stop_at_us: 200_000_000,
+        rng_fork: 1,
+    }
+}
+
+/// The declarative QBone scenario for `cfg` (paper Figure 5 as data).
+pub fn qbone_spec(cfg: &QboneConfig) -> ScenarioSpec {
+    let media = MediaRef {
+        clip: cfg.clip,
+        codec: CodecSpec::Mpeg1,
+        rate_bps: cfg.encoding_bps,
+    };
+    let mut spec = ScenarioSpec::new("qbone", cfg.seed);
+
+    // Hosts and routers, in the historical creation order (ids are
+    // positional, and the cross-traffic RNG fork consumes the scenario
+    // RNG in node order).
+    spec.nodes.push(NodeSpec::host(
+        "client",
+        AppSpec::StreamClient {
+            server: "video-server".to_string(),
+            up_flow: UP_FLOW.0,
+            media,
+            transport: TransportSpec::Udp,
+            feedback_us: None,
+        },
+    ));
+    spec.nodes.push(NodeSpec::router("local-edge"));
+    spec.nodes.push(NodeSpec::router("core2"));
+    spec.nodes.push(NodeSpec::router("core1"));
+    spec.nodes.push(NodeSpec::router("remote-edge"));
+    let server_app = match cfg.server {
+        QboneServer::Paced => AppSpec::PacedServer {
+            client: "client".to_string(),
+            flow: MEDIA_FLOW.0,
+            dscp: DscpSpec::EfQbone,
+            media,
+        },
+        QboneServer::Bursty => AppSpec::BurstyServer {
+            client: "client".to_string(),
+            flow: MEDIA_FLOW.0,
+            dscp: DscpSpec::EfQbone,
+            media,
+            wait_for_play: true,
+        },
+        QboneServer::MultiRatePaced => AppSpec::MultiRatePacedServer {
+            client: "client".to_string(),
+            flow: MEDIA_FLOW.0,
+            dscp: DscpSpec::EfQbone,
+            tiers: QBONE_TIERS
+                .iter()
+                .map(|&rate_bps| MediaRef {
+                    clip: cfg.clip,
+                    codec: CodecSpec::Mpeg1,
+                    rate_bps,
+                })
+                .collect(),
+            // The server sizes its encoding to the purchased profile,
+            // leaving ~12 % headroom for packet overhead and burstiness.
+            estimate_bps: (cfg.profile.token_rate_bps as f64 * 0.88) as u64,
+        },
+    };
+    spec.nodes.push(NodeSpec::host("video-server", server_app));
+
+    // Access links.
+    spec.links.push(LinkSpec::simple(
+        "client",
+        "local-edge",
+        LinkParams::ethernet_10mbps(),
+    ));
+    spec.links.push(LinkSpec::simple(
+        "video-server",
+        "remote-edge",
+        LinkParams::fast_ethernet(),
+    ));
+
+    // Wide-area links with EF priority queues on the router ports.
+    let prio = QdiscSpec::StrictPriorityEf {
+        ef: LimitsSpec::bytes(120_000),
+        be: LimitsSpec::packets(60),
+    };
+    let wan = |rate_bps: u64, ms: u64| LinkParams {
+        rate_bps,
+        propagation_ns: ms * 1_000_000,
+    };
+    spec.links.push(LinkSpec::symmetric(
+        "remote-edge",
+        "core1",
+        wan(45_000_000, 5),
+        prio,
+    ));
+    spec.links.push(LinkSpec::symmetric(
+        "core1",
+        "core2",
+        wan(155_000_000, 20),
+        prio,
+    ));
+    spec.links.push(LinkSpec::symmetric(
+        "core2",
+        "local-edge",
+        wan(45_000_000, 5),
+        prio,
+    ));
+
+    // Ingress policing at the remote border (Cisco CAR, drop; no
+    // re-marking — the server already marks EF).
+    spec.conditioners.push(ConditionerSpec {
+        node: "remote-edge".to_string(),
+        tap: Some("ingress".to_string()),
+        rules: vec![RuleSpec {
+            matches: MatchSpec::src_dst("video-server", "client"),
+            action: ActionSpec::Police {
+                rate_bps: cfg.profile.token_rate_bps,
+                depth_bytes: cfg.profile.bucket_depth_bytes,
+                conform_mark: None,
+            },
+        }],
+    });
+
+    // Optional background load across the backbone (best effort).
+    if cfg.cross_traffic {
+        qbone_cross_traffic().attach(&mut spec);
+    }
+
+    // The CAR policer's admission bound for the audit oracles.
+    spec.bounds.push(BoundSpec {
+        node: "remote-edge".to_string(),
+        flow: MEDIA_FLOW.0,
+        rate_bps: cfg.profile.token_rate_bps,
+        depth_bytes: cfg.profile.bucket_depth_bytes,
+    });
+    spec.horizon_ns = Some(run_horizon(cfg.clip.into()).as_nanos());
+    spec
+}
+
 /// Run one QBone streaming session and score it.
 pub fn run_qbone(cfg: &QboneConfig) -> RunOutcome {
     run_qbone_detailed(cfg).0
@@ -117,144 +249,39 @@ pub fn run_qbone(cfg: &QboneConfig) -> RunOutcome {
 /// Like [`run_qbone`], but also return the client's full report.
 pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client::ClientReport) {
     let clip_id: ClipId = cfg.clip.into();
+    // Warm the artifact store first so the encode cost is attributed to
+    // the encode phase, not the (cheap, memoized) compile below.
     let t_artifacts = Instant::now();
-    let clip = artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
-    profile::add_encode(t_artifacts.elapsed());
-    let mut rng = SimRng::seed_from_u64(cfg.seed);
-
-    let mut b = NetworkBuilder::<StreamPayload>::new();
-
-    // Hosts and routers. Ids are assigned in creation order.
-    let (client_handle, client_app) = Shared::new(StreamClient::new(ClientConfig {
-        server: NodeId(5), // the server is created sixth (index 5)
-        up_flow: UP_FLOW,
-        frames: clip.frames.len() as u32,
-        kind_fn: mpeg1::frame_kind,
-        playback: PlaybackConfig::default(),
-        feedback_interval: None,
-        mode: ClientMode::Udp,
-    }));
-    let client = b.add_host("client", Box::new(client_app));
-    let local_edge = b.add_router("local-edge");
-    let core2 = b.add_router("core2");
-    let core1 = b.add_router("core1");
-    let remote_edge = b.add_router("remote-edge");
-    let server_app: Box<dyn dsv_net::app::Application<StreamPayload>> = match cfg.server {
-        QboneServer::Paced => Box::new(PacedServer::new(
-            PacedConfig::new(client, MEDIA_FLOW, Dscp::EF_QBONE),
-            &clip,
-        )),
-        QboneServer::Bursty => Box::new(dsv_stream::server::bursty::BurstyServer::new(
-            dsv_stream::server::bursty::BurstyConfig {
-                client,
-                flow: MEDIA_FLOW,
-                dscp: Dscp::EF_QBONE,
-                wait_for_play: true,
-            },
-            &clip,
-        )),
-        QboneServer::MultiRatePaced => {
-            let t_tiers = Instant::now();
-            let tiers = [
-                artifacts::encoding(clip_id, Codec::Mpeg1, 1_000_000),
-                artifacts::encoding(clip_id, Codec::Mpeg1, 1_500_000),
-                artifacts::encoding(clip_id, Codec::Mpeg1, 1_700_000),
-            ];
-            profile::add_encode(t_tiers.elapsed());
-            let tier_refs: Vec<&EncodedClip> = tiers.iter().map(|t| t.as_ref()).collect();
-            // The server sizes its encoding to the purchased profile,
-            // leaving ~12 % headroom for packet overhead and burstiness.
-            let estimate = (cfg.profile.token_rate_bps as f64 * 0.88) as u64;
-            Box::new(PacedServer::new_multi_rate_shared(
-                PacedConfig::new(client, MEDIA_FLOW, Dscp::EF_QBONE),
-                &tier_refs,
-                estimate,
-            ))
+    artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
+    if cfg.server == QboneServer::MultiRatePaced {
+        for rate in QBONE_TIERS {
+            artifacts::encoding(clip_id, Codec::Mpeg1, rate);
         }
-    };
-    let server = b.add_host("video-server", server_app);
-    assert_eq!(server, NodeId(5), "node creation order changed");
-
-    // Access links.
-    b.connect(client, local_edge, Link::ethernet_10mbps());
-    b.connect(server, remote_edge, Link::fast_ethernet());
-
-    // Wide-area links with EF priority queues on the router ports.
-    let prio = || {
-        Box::new(StrictPriorityQueue::ef_default(
-            QueueLimits::bytes(120_000),
-            QueueLimits::packets(60),
-        ))
-    };
-    let wan = |rate: u64, ms: u64| Link::new(rate, SimDuration::from_millis(ms));
-    b.connect_with(
-        remote_edge,
-        core1,
-        wan(45_000_000, 5),
-        wan(45_000_000, 5),
-        prio(),
-        prio(),
-    );
-    b.connect_with(
-        core1,
-        core2,
-        wan(155_000_000, 20),
-        wan(155_000_000, 20),
-        prio(),
-        prio(),
-    );
-    b.connect_with(
-        core2,
-        local_edge,
-        wan(45_000_000, 5),
-        wan(45_000_000, 5),
-        prio(),
-        prio(),
-    );
-
-    // Ingress policing at the remote border (Cisco CAR, drop).
-    let policer = Policer::car_drop(cfg.profile.token_rate_bps, cfg.profile.bucket_depth_bytes);
-    let table = PolicyTable::new().with(
-        MatchRule::src_dst(server, client),
-        PolicyAction::Police(policer),
-    );
-    b.set_conditioner(remote_edge, Box::new(table));
-
-    // Optional background load across the backbone (best effort).
-    if cfg.cross_traffic {
-        let ct_sink = b.add_host("ct-sink", Box::new(CountingSink::default()));
-        b.connect(ct_sink, core2, Link::fast_ethernet());
-        let ct_src = b.add_host(
-            "ct-src",
-            Box::new(OnOffSource::new(
-                ct_sink,
-                CT_FLOW,
-                1000,
-                30_000_000,
-                SimDuration::from_millis(200),
-                SimDuration::from_millis(200),
-                Dscp::BEST_EFFORT,
-                SimTime::from_secs(200),
-                rng.fork(1),
-            )),
-        );
-        b.connect(ct_src, core1, Link::fast_ethernet());
     }
+    profile::add_encode(t_artifacts.elapsed());
 
-    let mut sim = Simulation::new(b.build());
+    let spec = qbone_spec(cfg);
+    let compiled = compile(
+        &spec,
+        CompileOptions {
+            store: Some(&ArtifactStore),
+            wrap: None,
+        },
+    )
+    .expect("qbone spec compiles");
+    let client_handle = compiled
+        .sole_client()
+        .expect("qbone scenario has one client")
+        .clone();
+    let horizon = compiled.horizon.expect("qbone spec sets a horizon");
+    let bounds = compiled.bounds.clone();
+
+    let mut sim = Simulation::new(compiled.net);
     // Under `DSV_AUDIT=1`: check every lifecycle invariant online, plus
     // the CAR policer's admission bound at the remote border.
-    crate::auditing::arm(
-        &mut sim,
-        &[(
-            remote_edge,
-            MEDIA_FLOW,
-            cfg.profile.token_rate_bps,
-            cfg.profile.bucket_depth_bytes,
-        )],
-    );
+    crate::auditing::arm(&mut sim, &bounds);
     let t_sim = Instant::now();
-    let stats = sim.run_until(SimTime::ZERO + run_horizon(clip_id));
+    let stats = sim.run_until(SimTime::ZERO + horizon);
     profile::add_simulate(t_sim.elapsed(), stats.dispatched);
     profile::record_high_water(sim.queue.high_water(), sim.net.pool_high_water());
     crate::auditing::finish(&mut sim, "qbone run");
@@ -359,5 +386,22 @@ mod tests {
             quiet.quality,
             loaded.quality
         );
+    }
+
+    #[test]
+    fn spec_names_resolve_regardless_of_order() {
+        // The compiled scenario resolves the client/server by name; the
+        // spec's JSON is stable and parseable.
+        let cfg = QboneConfig::new(
+            ClipId2::Lost,
+            1_500_000,
+            EfProfile::new(1_550_000, DEPTH_2MTU),
+        );
+        let spec = qbone_spec(&cfg);
+        let json = spec.canonical_json();
+        let back: ScenarioSpec = serde_json::from_str(&json).expect("spec parses");
+        assert_eq!(back, spec);
+        assert_eq!(spec.nodes.len(), 6);
+        assert_eq!(spec.bounds.len(), 1);
     }
 }

@@ -12,8 +12,9 @@
 //!   the output order is the input order and a parallel run is
 //!   bit-identical to a serial one.
 //! * **Caching** — each point is content-addressed by an FNV-1a hash of
-//!   its kind tag and canonical config JSON (which includes the
-//!   [`EfProfile`](crate::experiment::EfProfile)). Outcomes persist under
+//!   its kind tag and the canonical JSON of its **compiled scenario
+//!   spec** plus scoring parameters (`Job::cache_json`), so any
+//!   topology or profile change changes the address. Outcomes persist under
 //!   `results/cache/`, so re-running `all_figures` (or any figure binary)
 //!   skips every already-computed point. A config change — different
 //!   rate, depth, seed, clip, horizon — changes the hash and misses the
@@ -39,13 +40,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-use crate::af::{run_af, AfConfig};
+use crate::af::{af_spec, run_af, AfConfig};
+use crate::aggregate::{aggregate_spec, run_aggregate, AggregateConfig, AggregateOutcome};
 use crate::experiment::{EfProfile, RunOutcome};
-use crate::local::{run_local, LocalConfig};
+use crate::local::{local_spec, run_local, LocalConfig};
 use crate::profile;
-use crate::qbone::{run_qbone, QboneConfig};
+use crate::qbone::{qbone_spec, run_qbone, QboneConfig};
 use crate::sweep::{SweepPoint, SweepResult};
 
 /// One unit of grid work: a fully specified experiment configuration.
@@ -69,7 +71,8 @@ impl Job {
         }
     }
 
-    /// Canonical JSON of the configuration; the content being addressed.
+    /// Canonical JSON of the configuration (the golden checksums hash
+    /// this; see [`crate::golden`]).
     pub(crate) fn config_json(&self) -> String {
         match self {
             Job::Qbone(cfg) => serde_json::to_string(cfg),
@@ -77,6 +80,41 @@ impl Job {
             Job::Af(cfg) => serde_json::to_string(cfg),
         }
         .expect("config serializes")
+    }
+
+    /// The content the result cache addresses: the job's **compiled
+    /// scenario spec** (canonical JSON — the full topology, conditioners,
+    /// seed and horizon) plus the scoring parameters that shape the
+    /// outcome but live outside the topology. Keying the cache off the
+    /// spec means two configs that lower to the same simulation *and*
+    /// the same scoring share an entry, and any topology change — even
+    /// one the config struct cannot express — changes the address.
+    pub(crate) fn cache_json(&self) -> String {
+        let (spec, scoring) = match self {
+            Job::Qbone(cfg) => (
+                qbone_spec(cfg).to_value(),
+                Value::Object(vec![
+                    ("clip".to_string(), cfg.clip.to_value()),
+                    ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
+                    ("score_vs_best".to_string(), cfg.score_vs_best.to_value()),
+                ]),
+            ),
+            Job::Local(cfg) => (
+                local_spec(cfg).to_value(),
+                Value::Object(vec![
+                    ("clip".to_string(), cfg.clip.to_value()),
+                    ("cap_bps".to_string(), cfg.cap_bps.to_value()),
+                ]),
+            ),
+            Job::Af(cfg) => (
+                af_spec(cfg).to_value(),
+                Value::Object(vec![
+                    ("clip".to_string(), cfg.clip.to_value()),
+                    ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
+                ]),
+            ),
+        };
+        cache_address(spec, scoring)
     }
 
     /// Run the experiment this job describes.
@@ -100,13 +138,32 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// One persisted cache record. The config JSON rides along so a load can
-/// verify it addressed the right content (collision/staleness guard).
+/// Canonical cache-address JSON: `{"spec": …, "scoring": …}`.
+fn cache_address(spec: Value, scoring: Value) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("spec".to_string(), spec),
+        ("scoring".to_string(), scoring),
+    ]))
+    .expect("cache address serializes")
+}
+
+/// One persisted cache record. The address JSON rides along so a load
+/// can verify it addressed the right content (collision/staleness
+/// guard).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct CacheEntry {
     kind: String,
     config: String,
     outcome: RunOutcome,
+}
+
+/// A persisted aggregate-run cache record (same guard discipline as
+/// [`CacheEntry`], different outcome shape).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AggregateCacheEntry {
+    kind: String,
+    config: String,
+    outcome: AggregateOutcome,
 }
 
 /// Live progress across worker threads: points done, throughput, ETA and
@@ -136,17 +193,17 @@ impl Progress {
         }
     }
 
-    fn record(&self, outcome: &RunOutcome, cache_hit: bool) {
+    /// Record a finished point given its aggregate drop counters
+    /// `(policer, queue, shaper)` — the shape-independent core of
+    /// progress accounting.
+    fn record_counts(&self, drops: (u64, u64, u64), cache_hit: bool) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if cache_hit {
             self.cached.fetch_add(1, Ordering::Relaxed);
         }
-        self.policer_drops
-            .fetch_add(outcome.policer_drops, Ordering::Relaxed);
-        self.queue_drops
-            .fetch_add(outcome.queue_drops, Ordering::Relaxed);
-        self.shaper_drops
-            .fetch_add(outcome.shaper_drops, Ordering::Relaxed);
+        self.policer_drops.fetch_add(drops.0, Ordering::Relaxed);
+        self.queue_drops.fetch_add(drops.1, Ordering::Relaxed);
+        self.shaper_drops.fetch_add(drops.2, Ordering::Relaxed);
         if self.enabled {
             self.print(done, false);
         }
@@ -282,11 +339,46 @@ impl Runner {
     /// run is seeded from it), so the result is identical for any thread
     /// count — parallel output is byte-for-byte the serial output.
     pub fn run(&self, jobs: &[Job]) -> Vec<RunOutcome> {
-        let n = jobs.len();
+        self.run_indexed(
+            jobs.len(),
+            |i| self.run_one(&jobs[i]),
+            |o| (o.policer_drops, o.queue_drops, o.shaper_drops),
+        )
+    }
+
+    /// Run a batch of aggregate configurations, outcomes in input order,
+    /// through the same thread pool and persistent cache as [`run`].
+    ///
+    /// [`run`]: Runner::run
+    pub fn run_aggregate_batch(&self, cfgs: &[AggregateConfig]) -> Vec<AggregateOutcome> {
+        self.run_indexed(
+            cfgs.len(),
+            |i| self.run_one_aggregate(&cfgs[i]),
+            |o| {
+                (
+                    o.per_flow.iter().map(|f| f.policer_drops).sum(),
+                    o.per_flow.iter().map(|f| f.queue_drops).sum(),
+                    o.per_flow.iter().map(|f| f.shaper_drops).sum(),
+                )
+            },
+        )
+    }
+
+    /// The shared fan-out engine behind every batch entry point: `n`
+    /// points, each produced by `exec(i) -> (outcome, cache_hit)`, fanned
+    /// over the scoped thread pool with results returned **in index
+    /// order** regardless of thread count. `counts` extracts the drop
+    /// counters the live progress line accumulates.
+    fn run_indexed<O: Send + Sync>(
+        &self,
+        n: usize,
+        exec: impl Fn(usize) -> (O, bool) + Sync,
+        counts: impl Fn(&O) -> (u64, u64, u64) + Sync,
+    ) -> Vec<O> {
         if n == 0 {
             return Vec::new();
         }
-        let slots: Vec<OnceLock<(RunOutcome, bool)>> = (0..n).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(O, bool)>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let progress = Progress::new(n, self.progress);
         let stages_before = profile::snapshot();
@@ -298,9 +390,11 @@ impl Runner {
                     if i >= n {
                         break;
                     }
-                    let result = self.run_one(&jobs[i]);
-                    progress.record(&result.0, result.1);
-                    slots[i].set(result).expect("each slot is filled once");
+                    let result = exec(i);
+                    progress.record_counts(counts(&result.0), result.1);
+                    if slots[i].set(result).is_err() {
+                        panic!("each slot is filled once");
+                    }
                 });
             }
         });
@@ -312,17 +406,22 @@ impl Runner {
             .collect()
     }
 
+    /// The content-addressed cache path for `(kind, address)`.
+    fn cache_path(dir: &Path, kind: &str, address: &str) -> PathBuf {
+        let mut keyed = Vec::with_capacity(kind.len() + 1 + address.len());
+        keyed.extend_from_slice(kind.as_bytes());
+        keyed.push(0);
+        keyed.extend_from_slice(address.as_bytes());
+        dir.join(format!("{}-{:016x}.json", kind, fnv1a64(&keyed)))
+    }
+
     /// Run one job, consulting the cache; returns `(outcome, cache_hit)`.
     fn run_one(&self, job: &Job) -> (RunOutcome, bool) {
         let Some(dir) = &self.cache_dir else {
             return (job.execute(), false);
         };
-        let config = job.config_json();
-        let mut keyed = Vec::with_capacity(job.kind().len() + 1 + config.len());
-        keyed.extend_from_slice(job.kind().as_bytes());
-        keyed.push(0);
-        keyed.extend_from_slice(config.as_bytes());
-        let path = dir.join(format!("{}-{:016x}.json", job.kind(), fnv1a64(&keyed)));
+        let config = job.cache_json();
+        let path = Self::cache_path(dir, job.kind(), &config);
         if let Some(outcome) = load_cached(&path, job.kind(), &config) {
             return (outcome, true);
         }
@@ -332,6 +431,36 @@ impl Runner {
             &path,
             &CacheEntry {
                 kind: job.kind().to_string(),
+                config,
+                outcome: outcome.clone(),
+            },
+        );
+        (outcome, false)
+    }
+
+    /// Run one aggregate config, consulting the cache.
+    fn run_one_aggregate(&self, cfg: &AggregateConfig) -> (AggregateOutcome, bool) {
+        const KIND: &str = "aggregate";
+        let Some(dir) = &self.cache_dir else {
+            return (run_aggregate(cfg), false);
+        };
+        let config = cache_address(
+            aggregate_spec(cfg).to_value(),
+            Value::Object(vec![
+                ("clip".to_string(), cfg.clip.to_value()),
+                ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
+            ]),
+        );
+        let path = Self::cache_path(dir, KIND, &config);
+        if let Some(outcome) = load_cached_aggregate(&path, KIND, &config) {
+            return (outcome, true);
+        }
+        let outcome = run_aggregate(cfg);
+        store_cached_aggregate(
+            dir,
+            &path,
+            &AggregateCacheEntry {
+                kind: KIND.to_string(),
                 config,
                 outcome: outcome.clone(),
             },
@@ -452,6 +581,30 @@ fn store_cached(dir: &Path, path: &Path, entry: &CacheEntry) {
     }
 }
 
+/// Load an aggregate cache entry if it addresses exactly this config.
+fn load_cached_aggregate(path: &Path, kind: &str, config: &str) -> Option<AggregateOutcome> {
+    let text = fs::read_to_string(path).ok()?;
+    let entry: AggregateCacheEntry = serde_json::from_str(&text).ok()?;
+    (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+}
+
+/// Persist an aggregate cache entry atomically, best-effort.
+fn store_cached_aggregate(dir: &Path, path: &Path, entry: &AggregateCacheEntry) {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let json = serde_json::to_string_pretty(entry).expect("cache entry serializes");
+    let tmp = dir.join(format!(
+        ".tmp-agg-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, path).is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,12 +664,7 @@ mod tests {
         let runner = Runner::serial().with_cache(Some(dir.clone()));
         let job = Job::Qbone(tiny_base());
         // Poison the exact cache path this job addresses.
-        let config = job.config_json();
-        let mut keyed = Vec::new();
-        keyed.extend_from_slice(job.kind().as_bytes());
-        keyed.push(0);
-        keyed.extend_from_slice(config.as_bytes());
-        let path = dir.join(format!("{}-{:016x}.json", job.kind(), fnv1a64(&keyed)));
+        let path = Runner::cache_path(&dir, job.kind(), &job.cache_json());
         fs::write(&path, "{not json").unwrap();
         let (_, hit) = runner.run_one(&job);
         assert!(!hit, "corrupt entry must not count as a hit");

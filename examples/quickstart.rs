@@ -4,8 +4,14 @@
 //! ```text
 //! cargo run --release -p dsv-core --example quickstart
 //! ```
+//!
+//! Every experiment here is a declarative [`dsv_scenario::ScenarioSpec`]:
+//! the config lowers to a named-node spec, the spec compiles to the
+//! simulated network, and the spec's canonical JSON is what the sweep
+//! runner content-addresses its cache with.
 
 use dsv_core::prelude::*;
+use dsv_core::qbone::qbone_spec;
 
 fn main() {
     // The paper's headline configuration: the Lost trailer, MPEG-1 CBR at
@@ -15,6 +21,31 @@ fn main() {
     let profile = EfProfile::new(1_650_000, DEPTH_2MTU);
     let cfg = QboneConfig::new(ClipId2::Lost, encoding_bps, profile);
 
+    // The declarative scenario this config stands for. Nodes are named —
+    // nothing in the spec depends on creation order — and the canonical
+    // JSON below is the exact string the runner keys its result cache
+    // with.
+    let spec = qbone_spec(&cfg);
+    println!("Scenario `{}`:", spec.name);
+    for node in &spec.nodes {
+        let role = match &node.app {
+            None => "router".to_string(),
+            Some(app) => format!("{app:?}")
+                .split([' ', '('])
+                .next()
+                .unwrap_or("host")
+                .to_string(),
+        };
+        println!("  {:<10} {role}", node.name);
+    }
+    println!(
+        "  ({} links, {} conditioner(s), cache key = {} bytes of canonical JSON)",
+        spec.links.len(),
+        spec.conditioners.len(),
+        spec.canonical_json().len()
+    );
+
+    println!();
     println!(
         "Streaming Lost @{:.1} Mbps across the QBone (token rate {:.2} Mbps, bucket {} B)…",
         encoding_bps as f64 / 1e6,
