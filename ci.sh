@@ -28,6 +28,9 @@ cargo test -q --workspace
 echo "==> cargo test -q (DSV_QUEUE=heap: binary-heap event-queue backend)"
 DSV_QUEUE=heap cargo test -q --workspace
 
+echo "==> cargo test -q (DSV_SHARDS=2: sharded event engine)"
+DSV_SHARDS=2 cargo test -q --workspace
+
 echo "==> audit smoke (oracle self-tests, wheel backend)"
 cargo test -q -p dsv-check --features dsv-check/audit
 
@@ -53,6 +56,15 @@ echo "==> scenario refactor gate (spec-driven figures byte-identical, cache off)
 DSV_CACHE=off ./target/release/fig07_qbone_lost > /dev/null
 DSV_CACHE=off ./target/release/ablation_hop_jitter > /dev/null
 DSV_CACHE=off ./target/release/fig16_aggregate > /dev/null
+git diff --exit-code -- results/
+
+echo "==> sharded regeneration gate (DSV_SHARDS=2, both backends, cache off)"
+for backend in wheel heap; do
+  DSV_SHARDS=2 DSV_QUEUE=$backend DSV_CACHE=off \
+    ./target/release/fig07_qbone_lost > /dev/null
+  DSV_SHARDS=2 DSV_QUEUE=$backend DSV_CACHE=off \
+    ./target/release/fig16_aggregate > /dev/null
+done
 git diff --exit-code -- results/
 
 if [[ "$AUDIT" == 1 ]]; then

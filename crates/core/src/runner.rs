@@ -29,7 +29,7 @@
 //!
 //! | variable       | effect                                              |
 //! |----------------|-----------------------------------------------------|
-//! | `DSV_THREADS`  | worker count (`1` = serial; default: all cores)     |
+//! | `DSV_THREADS`  | worker count (`1` = serial; default: all cores; `0`/garbage warn on stderr and use the default) |
 //! | `DSV_CACHE`    | `0`/`off` disables; a path overrides the cache dir  |
 //! | `DSV_PROGRESS` | `1`/`0` forces the progress meter on/off (default: on when stderr is a TTY) |
 
@@ -287,11 +287,7 @@ impl Runner {
     /// persistent cache, and a progress meter when stderr is a TTY.
     pub fn from_env() -> Runner {
         let mut r = Runner::default();
-        if let Ok(v) = std::env::var("DSV_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                r.threads = n.max(1);
-            }
-        }
+        r.threads = dsv_sim::env::count_from_env("DSV_THREADS", r.threads);
         if let Ok(v) = std::env::var("DSV_CACHE") {
             let v = v.trim();
             r.cache_dir = match v {
@@ -556,11 +552,39 @@ fn grid_jobs(rates: &[u64], depths: &[u32], mut make: impl FnMut(u64, u32) -> Jo
     jobs
 }
 
+/// Read `path` and run `parse` over its contents, re-reading once if the
+/// first attempt does not yield a value.
+///
+/// `store_cached` publishes entries with a tmp-file write + rename, which
+/// is atomic on POSIX — but when *another process* is recomputing the
+/// same grid (two figure binaries sharing `results/cache/`), some
+/// filesystems (overlay and network mounts in particular) expose a window
+/// where a read racing the rename returns truncated or stale bytes. Every
+/// writer of a given path serializes the same pure-function outcome, so
+/// the content is never wrong, only possibly torn; one re-read after a
+/// failed parse (or a guard mismatch) lands after the rename and
+/// recovers the entry. A second failure means a genuinely absent or
+/// corrupt entry, which degrades to recomputation as before.
+fn retry_torn_read<T>(path: &Path, parse: impl Fn(&str) -> Option<T>) -> Option<T> {
+    for attempt in 0..2 {
+        // A missing file is a plain cache miss: nothing to retry.
+        let text = fs::read_to_string(path).ok()?;
+        if let Some(v) = parse(&text) {
+            return Some(v);
+        }
+        if attempt == 0 {
+            std::thread::yield_now();
+        }
+    }
+    None
+}
+
 /// Load a cache entry if it exists *and* addresses exactly this config.
 fn load_cached(path: &Path, kind: &str, config: &str) -> Option<RunOutcome> {
-    let text = fs::read_to_string(path).ok()?;
-    let entry: CacheEntry = serde_json::from_str(&text).ok()?;
-    (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+    retry_torn_read(path, |text| {
+        let entry: CacheEntry = serde_json::from_str(text).ok()?;
+        (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+    })
 }
 
 /// Persist a cache entry atomically (tmp file + rename), best-effort:
@@ -583,9 +607,10 @@ fn store_cached(dir: &Path, path: &Path, entry: &CacheEntry) {
 
 /// Load an aggregate cache entry if it addresses exactly this config.
 fn load_cached_aggregate(path: &Path, kind: &str, config: &str) -> Option<AggregateOutcome> {
-    let text = fs::read_to_string(path).ok()?;
-    let entry: AggregateCacheEntry = serde_json::from_str(&text).ok()?;
-    (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+    retry_torn_read(path, |text| {
+        let entry: AggregateCacheEntry = serde_json::from_str(text).ok()?;
+        (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+    })
 }
 
 /// Persist an aggregate cache entry atomically, best-effort.
@@ -672,6 +697,111 @@ mod tests {
         let (_, hit2) = runner.run_one(&job);
         assert!(hit2, "repaired entry hits");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_reads_are_retried_exactly_once() {
+        let dir = std::env::temp_dir().join(format!("dsv-runner-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.json");
+        fs::write(&path, "payload").unwrap();
+
+        // A parse that fails once (as if racing a rename) succeeds on the
+        // re-read.
+        let calls = std::cell::Cell::new(0usize);
+        let got = retry_torn_read(&path, |text| {
+            calls.set(calls.get() + 1);
+            (calls.get() == 2).then(|| text.to_string())
+        });
+        assert_eq!(got.as_deref(), Some("payload"));
+        assert_eq!(calls.get(), 2);
+
+        // A persistently bad entry is read twice, no more.
+        let calls = std::cell::Cell::new(0usize);
+        let got: Option<()> = retry_torn_read(&path, |_| {
+            calls.set(calls.get() + 1);
+            None
+        });
+        assert_eq!(got, None);
+        assert_eq!(calls.get(), 2);
+
+        // A missing file is a plain miss: zero parse attempts, no retry.
+        let calls = std::cell::Cell::new(0usize);
+        let got: Option<()> = retry_torn_read(&dir.join("absent.json"), |_| {
+            calls.set(calls.get() + 1);
+            Some(())
+        });
+        assert_eq!(got, None);
+        assert_eq!(calls.get(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_read() {
+        // Several "processes" recomputing the same point store the same
+        // entry while readers poll it: every successful load must return
+        // the one true outcome, and failed loads only mean "miss".
+        let dir = std::env::temp_dir().join(format!("dsv-runner-race-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let job = Job::Qbone(tiny_base());
+        let config = job.cache_json();
+        let path = Runner::cache_path(&dir, job.kind(), &config);
+        let entry = CacheEntry {
+            kind: job.kind().to_string(),
+            config: config.clone(),
+            outcome: job.execute(),
+        };
+        let expected = serde_json::to_string(&entry.outcome).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..40 {
+                        store_cached(&dir, &path, &entry);
+                    }
+                });
+            }
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut hits = 0usize;
+                    for _ in 0..200 {
+                        if let Some(outcome) = load_cached(&path, job.kind(), &config) {
+                            assert_eq!(serde_json::to_string(&outcome).unwrap(), expected);
+                            hits += 1;
+                        }
+                    }
+                    // By the end the entry is durably published.
+                    assert!(
+                        load_cached(&path, job.kind(), &config).is_some() || hits > 0,
+                        "entry should become visible to readers"
+                    );
+                });
+            }
+        });
+        // No temp files leak from the racing writers.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thread_count_env_policy_warns_and_defaults() {
+        // `from_env` routes DSV_THREADS through the shared dsv-sim parser:
+        // valid values apply, garbage falls back to the default (with a
+        // stderr warning) instead of being silently ignored.
+        let default_threads = Runner::default().threads;
+        std::env::set_var("DSV_THREADS", "3");
+        assert_eq!(Runner::from_env().threads, 3);
+        std::env::set_var("DSV_THREADS", "0");
+        assert_eq!(Runner::from_env().threads, default_threads);
+        std::env::set_var("DSV_THREADS", "many");
+        assert_eq!(Runner::from_env().threads, default_threads);
+        std::env::remove_var("DSV_THREADS");
+        assert_eq!(Runner::from_env().threads, default_threads);
     }
 
     #[test]

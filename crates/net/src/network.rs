@@ -12,6 +12,13 @@
 //! conditioned, routed, queued and re-serialized. Routing tables are
 //! computed once at build time by breadth-first search, so any connected
 //! topology works without manual route entry.
+//!
+//! Every handler is generic over a [`NetSink`] — the serial engine passes
+//! the plain [`EventQueue`], while the sharded engine (see [`crate::shard`])
+//! passes a per-domain sink that stamps events and routes cross-domain
+//! arrivals through boundary batches. The handlers themselves cannot tell
+//! the difference, which is what makes the two engines produce the same
+//! event sequence.
 
 use std::collections::VecDeque;
 
@@ -22,7 +29,7 @@ use crate::app::{AppCommand, AppCtx, Application};
 use crate::audit::SimAudit;
 use crate::conditioner::{ConditionOutcome, Conditioner, QuickVerdict};
 use crate::link::Link;
-use crate::packet::{DropReason, NodeId, Packet, PacketId, PortId};
+use crate::packet::{DropReason, FlowId, NodeId, Packet, PacketId, PortId};
 use crate::pool::{PacketPool, PacketRef};
 use crate::qdisc::{DropTailQueue, Qdisc, QueueLimits};
 use crate::stats::NetStats;
@@ -62,10 +69,57 @@ pub enum NetEvent {
     CondPoll(NodeId),
 }
 
+impl NetEvent {
+    /// The node an event is addressed to — the event's *location*, which
+    /// the sharded engine uses both to assign events to domains and to
+    /// stamp the events a dispatch schedules.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            NetEvent::Start(node) | NetEvent::CondPoll(node) => node,
+            NetEvent::Timer { node, .. }
+            | NetEvent::Arrive { node, .. }
+            | NetEvent::PortReady { node, .. } => node,
+        }
+    }
+}
+
+/// Where the network handlers put the events (and boundary packets) they
+/// produce.
+///
+/// The serial engine's sink is the [`EventQueue`] itself: everything is
+/// local and `schedule` is a plain queue insert. The sharded engine's sink
+/// is a per-domain wrapper that stamps each event with a partition-
+/// independent [`dsv_sim::EventStamp`] and diverts packets crossing a
+/// domain boundary into an outbox ([`NetSink::send_remote`]) instead of
+/// the local queue.
+pub trait NetSink<P> {
+    /// Schedule `event` at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, event: NetEvent);
+
+    /// Whether `node` is simulated by this sink's domain. The serial
+    /// engine owns every node.
+    fn is_local(&self, _node: NodeId) -> bool {
+        true
+    }
+
+    /// Hand off a packet whose next arrival happens at a node owned by
+    /// another domain. Only called when [`NetSink::is_local`] returned
+    /// `false` for `dst` — never on the serial path.
+    fn send_remote(&mut self, _at: SimTime, _dst: NodeId, _pkt: Packet<P>) {
+        unreachable!("this sink owns every node; send_remote has no meaning")
+    }
+}
+
+impl<P> NetSink<P> for EventQueue<NetEvent> {
+    fn schedule(&mut self, at: SimTime, event: NetEvent) {
+        EventQueue::schedule(self, at, event);
+    }
+}
+
 struct Port<P> {
     link: Link,
     peer: NodeId,
-    qdisc: Box<dyn Qdisc<P>>,
+    qdisc: Box<dyn Qdisc<P> + Send>,
     busy: bool,
     /// Packets currently inside `qdisc`, mirrored here so the hot paths
     /// (is the port drained? can a packet pass straight through?) answer
@@ -97,14 +151,26 @@ struct Node<P> {
     routes: Vec<Option<PortId>>,
 }
 
+/// An empty stand-in occupying a foreign node's slot in a domain network
+/// (and a split-out node's slot in the main network) so `NodeId` indexing
+/// stays global. Placeholders are never the target of an event.
+fn placeholder_node<P>() -> Node<P> {
+    Node {
+        kind: NodeKind::Router,
+        name: String::new(),
+        ports: Vec::new(),
+        routes: Vec::new(),
+    }
+}
+
 /// Builds a [`Network`].
 pub struct NetworkBuilder<P> {
     nodes: Vec<Node<P>>,
-    apps: Vec<Option<Box<dyn Application<P>>>>,
-    conditioners: Vec<Option<Box<dyn Conditioner<P>>>>,
+    apps: Vec<Option<Box<dyn Application<P> + Send>>>,
+    conditioners: Vec<Option<Box<dyn Conditioner<P> + Send>>>,
 }
 
-impl<P: 'static> NetworkBuilder<P> {
+impl<P: Send + 'static> NetworkBuilder<P> {
     /// Start an empty topology.
     pub fn new() -> Self {
         NetworkBuilder {
@@ -115,7 +181,7 @@ impl<P: 'static> NetworkBuilder<P> {
     }
 
     /// Add a host running `app`, starting at t = 0.
-    pub fn add_host(&mut self, name: &str, app: Box<dyn Application<P>>) -> NodeId {
+    pub fn add_host(&mut self, name: &str, app: Box<dyn Application<P> + Send>) -> NodeId {
         self.add_host_starting(name, app, SimTime::ZERO)
     }
 
@@ -123,7 +189,7 @@ impl<P: 'static> NetworkBuilder<P> {
     pub fn add_host_starting(
         &mut self,
         name: &str,
-        app: Box<dyn Application<P>>,
+        app: Box<dyn Application<P> + Send>,
         start_at: SimTime,
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
@@ -172,8 +238,8 @@ impl<P: 'static> NetworkBuilder<P> {
         b: NodeId,
         link_ab: Link,
         link_ba: Link,
-        qdisc_ab: Box<dyn Qdisc<P>>,
-        qdisc_ba: Box<dyn Qdisc<P>>,
+        qdisc_ab: Box<dyn Qdisc<P> + Send>,
+        qdisc_ba: Box<dyn Qdisc<P> + Send>,
     ) {
         assert_ne!(a, b, "self-loops are not allowed");
         let cap_ab = qdisc_ab.direct_admit_cap();
@@ -199,7 +265,7 @@ impl<P: 'static> NetworkBuilder<P> {
     }
 
     /// Attach an ingress conditioner to a router.
-    pub fn set_conditioner(&mut self, node: NodeId, cond: Box<dyn Conditioner<P>>) {
+    pub fn set_conditioner(&mut self, node: NodeId, cond: Box<dyn Conditioner<P> + Send>) {
         assert!(
             matches!(self.nodes[node.0 as usize].kind, NodeKind::Router),
             "conditioners attach to routers"
@@ -288,7 +354,7 @@ impl<P: 'static> NetworkBuilder<P> {
             conditioners,
             cond_poll_at: vec![None; node_count],
             stats: NetStats::new(),
-            next_packet_id: 0,
+            flow_next_id: Vec::new(),
             // Streaming runs keep at most a few dozen packets on the wire
             // at once (the in-flight high-water mark reported by
             // `DSV_PROFILE=1` stays under ~32 across the paper's grids);
@@ -301,7 +367,7 @@ impl<P: 'static> NetworkBuilder<P> {
     }
 }
 
-impl<P: 'static> Default for NetworkBuilder<P> {
+impl<P: Send + 'static> Default for NetworkBuilder<P> {
     fn default() -> Self {
         Self::new()
     }
@@ -310,8 +376,8 @@ impl<P: 'static> Default for NetworkBuilder<P> {
 /// The simulated network (see module docs).
 pub struct Network<P> {
     nodes: Vec<Node<P>>,
-    apps: Vec<Option<Box<dyn Application<P>>>>,
-    conditioners: Vec<Option<Box<dyn Conditioner<P>>>>,
+    apps: Vec<Option<Box<dyn Application<P> + Send>>>,
+    conditioners: Vec<Option<Box<dyn Conditioner<P> + Send>>>,
     /// Earliest pending [`NetEvent::CondPoll`] per node, or `None` if no
     /// poll is outstanding. A backlogged shaper asks to be polled once per
     /// queued packet *and* once per poll that finds the head unready; without
@@ -323,7 +389,11 @@ pub struct Network<P> {
     /// Statistics collector (public so experiments can enable tracing before
     /// the run and read counters afterwards).
     pub stats: NetStats,
-    next_packet_id: u64,
+    /// Next packet id **per flow** (linear scan: a run has a handful of
+    /// flows). Per-flow numbering makes ids independent of how sends from
+    /// different flows interleave globally — the property that lets every
+    /// shard assign ids locally and still match the serial engine.
+    flow_next_id: Vec<(FlowId, u64)>,
     /// In-flight packets, parked between transmission and arrival so the
     /// event queue carries only [`PacketRef`] handles.
     pool: PacketPool<P>,
@@ -366,13 +436,23 @@ impl<P: 'static> Network<P> {
             .expect("node is not a host")
     }
 
-    fn dispatch_app<F>(
-        &mut self,
-        now: SimTime,
-        node: NodeId,
-        f: F,
-        queue: &mut EventQueue<NetEvent>,
-    ) where
+    fn next_packet_id(&mut self, flow: FlowId) -> PacketId {
+        match self.flow_next_id.iter_mut().find(|(f, _)| *f == flow) {
+            Some((_, next)) => {
+                let id = *next;
+                *next += 1;
+                PacketId(id)
+            }
+            None => {
+                self.flow_next_id.push((flow, 1));
+                PacketId(0)
+            }
+        }
+    }
+
+    fn dispatch_app<S, F>(&mut self, now: SimTime, node: NodeId, f: F, sink: &mut S)
+    where
+        S: NetSink<P>,
         F: FnOnce(&mut dyn Application<P>, &mut AppCtx<P>),
     {
         let idx = node.0 as usize;
@@ -388,11 +468,10 @@ impl<P: 'static> Network<P> {
         for cmd in commands.drain(..) {
             match cmd {
                 AppCommand::SetTimer { delay, token } => {
-                    queue.schedule(now + delay, NetEvent::Timer { node, token });
+                    sink.schedule(now + delay, NetEvent::Timer { node, token });
                 }
                 AppCommand::Send(spec) => {
-                    let id = PacketId(self.next_packet_id);
-                    self.next_packet_id += 1;
+                    let id = self.next_packet_id(spec.flow);
                     let pkt = Packet {
                         id,
                         flow: spec.flow,
@@ -409,20 +488,14 @@ impl<P: 'static> Network<P> {
                     #[cfg(feature = "audit")]
                     self.audit.on_sent(pkt.flow, pkt.id, pkt.size, node);
                     // Hosts have exactly one port (asserted at build).
-                    self.enqueue_on_port(now, node, PortId(0), pkt, queue);
+                    self.enqueue_on_port(now, node, PortId(0), pkt, sink);
                 }
             }
         }
         self.cmd_buf = commands;
     }
 
-    fn forward(
-        &mut self,
-        now: SimTime,
-        node: NodeId,
-        pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent>,
-    ) {
+    fn forward<S: NetSink<P>>(&mut self, now: SimTime, node: NodeId, pkt: Packet<P>, sink: &mut S) {
         let idx = node.0 as usize;
         match self.nodes[idx]
             .routes
@@ -430,7 +503,7 @@ impl<P: 'static> Network<P> {
             .copied()
             .flatten()
         {
-            Some(port) => self.enqueue_on_port(now, node, port, pkt, queue),
+            Some(port) => self.enqueue_on_port(now, node, port, pkt, sink),
             None => {
                 self.stats
                     .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, DropReason::NoRoute);
@@ -440,13 +513,13 @@ impl<P: 'static> Network<P> {
         }
     }
 
-    fn enqueue_on_port(
+    fn enqueue_on_port<S: NetSink<P>>(
         &mut self,
         now: SimTime,
         node: NodeId,
         port: PortId,
         pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent>,
+        sink: &mut S,
     ) {
         let idx = node.0 as usize;
         let p = &mut self.nodes[idx].ports[port.0 as usize];
@@ -454,14 +527,14 @@ impl<P: 'static> Network<P> {
         // through — an enqueue followed by an immediate dequeue would hand
         // the same packet back, so skip both virtual calls.
         if !p.busy && p.queued == 0 && pkt.size <= p.direct_cap {
-            self.begin_transmit(now, node, port, pkt, queue);
+            self.begin_transmit(now, node, port, pkt, sink);
             return;
         }
         match p.qdisc.enqueue(pkt) {
             Ok(()) => {
                 p.queued += 1;
                 if !p.busy {
-                    self.transmit_next(now, node, port, queue);
+                    self.transmit_next(now, node, port, sink);
                 }
             }
             Err(pkt) => {
@@ -479,12 +552,12 @@ impl<P: 'static> Network<P> {
         }
     }
 
-    fn transmit_next(
+    fn transmit_next<S: NetSink<P>>(
         &mut self,
         now: SimTime,
         node: NodeId,
         port: PortId,
-        queue: &mut EventQueue<NetEvent>,
+        sink: &mut S,
     ) {
         let idx = node.0 as usize;
         let p = &mut self.nodes[idx].ports[port.0 as usize];
@@ -494,20 +567,20 @@ impl<P: 'static> Network<P> {
         }
         if let Some(pkt) = p.qdisc.dequeue() {
             p.queued -= 1;
-            self.begin_transmit(now, node, port, pkt, queue);
+            self.begin_transmit(now, node, port, pkt, sink);
         }
     }
 
     /// Put `pkt` on the wire out of an idle `port`: mark the port busy and
     /// schedule its `PortReady` plus the peer's `Arrive` (in that order —
     /// the event sequence every path through the port logic must produce).
-    fn begin_transmit(
+    fn begin_transmit<S: NetSink<P>>(
         &mut self,
         now: SimTime,
         node: NodeId,
         port: PortId,
         pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent>,
+        sink: &mut S,
     ) {
         #[cfg(feature = "audit")]
         self.audit
@@ -524,27 +597,31 @@ impl<P: 'static> Network<P> {
         };
         let arrive = now + ser + p.link.propagation;
         let peer = p.peer;
-        queue.schedule(now + ser, NetEvent::PortReady { node, port });
-        queue.schedule(
-            arrive,
-            NetEvent::Arrive {
-                node: peer,
-                packet: self.pool.insert(pkt),
-            },
-        );
+        sink.schedule(now + ser, NetEvent::PortReady { node, port });
+        if sink.is_local(peer) {
+            sink.schedule(
+                arrive,
+                NetEvent::Arrive {
+                    node: peer,
+                    packet: self.pool.insert(pkt),
+                },
+            );
+        } else {
+            sink.send_remote(arrive, peer, pkt);
+        }
     }
 
     /// Like [`Network::begin_transmit`], but for a packet that never left
     /// the pool: the same [`PacketRef`] rides the next `Arrive`, so a
     /// router hop moves a handle instead of the packet body.
-    fn relay_transmit(
+    fn relay_transmit<S: NetSink<P>>(
         &mut self,
         now: SimTime,
         node: NodeId,
         port: PortId,
         size: u32,
         packet: PacketRef,
-        queue: &mut EventQueue<NetEvent>,
+        sink: &mut S,
     ) {
         #[cfg(feature = "audit")]
         if self.audit.enabled() {
@@ -566,14 +643,122 @@ impl<P: 'static> Network<P> {
         };
         let arrive = now + ser + p.link.propagation;
         let peer = p.peer;
-        queue.schedule(now + ser, NetEvent::PortReady { node, port });
-        queue.schedule(arrive, NetEvent::Arrive { node: peer, packet });
+        sink.schedule(now + ser, NetEvent::PortReady { node, port });
+        if sink.is_local(peer) {
+            sink.schedule(arrive, NetEvent::Arrive { node: peer, packet });
+        } else {
+            // The relayed packet leaves this domain's pool and crosses the
+            // boundary by value; the receiving domain re-parks it.
+            let pkt = self.pool.take(packet);
+            sink.send_remote(arrive, peer, pkt);
+        }
     }
 
     /// Peak number of simultaneously in-flight packets observed so far
     /// (sizes [`PacketPool::with_capacity`]; reported by `DSV_PROFILE=1`).
     pub fn pool_high_water(&self) -> usize {
         self.pool.high_water()
+    }
+
+    /// Number of nodes in the topology.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Every directed link as `(min(a, b), max(a, b), propagation delay)`
+    /// — the weighted graph the sharded engine partitions. Each physical
+    /// link contributes one entry per direction; the partitioner treats
+    /// them as parallel edges and takes the minimum crossing weight, so
+    /// asymmetric propagation delays are handled conservatively.
+    pub fn link_edges(&self) -> Vec<(u32, u32, SimDuration)> {
+        let mut edges = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let a = i as u32;
+            for p in &node.ports {
+                let b = p.peer.0;
+                edges.push((a.min(b), a.max(b), p.link.propagation));
+            }
+        }
+        edges
+    }
+
+    /// The in-flight packet pool (sharded engine: boundary handoff and
+    /// leftover-event reassembly move packets between domain pools).
+    pub(crate) fn pool_mut(&mut self) -> &mut PacketPool<P> {
+        &mut self.pool
+    }
+
+    /// Carve the network into `k` per-domain networks, moving each node
+    /// (with its application and conditioner) into the network of the
+    /// domain that owns it. Every domain network keeps full-length,
+    /// globally-indexed vectors with placeholders in foreign slots, so
+    /// `NodeId`s stay valid everywhere. The main network is left hollow
+    /// until [`Network::absorb_domain`] moves everything back.
+    pub(crate) fn split_domains(&mut self, domain_of: &[u32], k: usize) -> Vec<Network<P>> {
+        let n = self.nodes.len();
+        debug_assert_eq!(domain_of.len(), n);
+        let mut out = Vec::with_capacity(k);
+        for d in 0..k as u32 {
+            let mut nodes = Vec::with_capacity(n);
+            let mut apps = Vec::with_capacity(n);
+            let mut conditioners = Vec::with_capacity(n);
+            for (i, &owner) in domain_of.iter().enumerate() {
+                if owner == d {
+                    nodes.push(std::mem::replace(&mut self.nodes[i], placeholder_node()));
+                    apps.push(self.apps[i].take());
+                    conditioners.push(self.conditioners[i].take());
+                } else {
+                    nodes.push(placeholder_node());
+                    apps.push(None);
+                    conditioners.push(None);
+                }
+            }
+            out.push(Network {
+                nodes,
+                apps,
+                conditioners,
+                cond_poll_at: self.cond_poll_at.clone(),
+                stats: self.stats.fork_registrations(),
+                flow_next_id: self.flow_next_id.clone(),
+                pool: PacketPool::with_capacity(64),
+                cmd_buf: Vec::with_capacity(8),
+                #[cfg(feature = "audit")]
+                audit: self.audit.fork_domain(),
+            });
+        }
+        out
+    }
+
+    /// Reabsorb one domain network after a sharded run: move its owned
+    /// nodes (with all queued packets and conditioner backlog) back into
+    /// place and fold its statistics and audit ledger into the main ones.
+    /// The domain's pool must already be drained (leftover `Arrive`
+    /// packets are transferred during queue reassembly, before this call).
+    pub(crate) fn absorb_domain(&mut self, mut dom: Network<P>, domain: u32, domain_of: &[u32]) {
+        debug_assert_eq!(
+            dom.pool.live(),
+            0,
+            "domain pool must be drained before absorbing"
+        );
+        for (i, &owner) in domain_of.iter().enumerate() {
+            if owner != domain {
+                continue;
+            }
+            self.nodes[i] = std::mem::replace(&mut dom.nodes[i], placeholder_node());
+            self.apps[i] = dom.apps[i].take();
+            self.conditioners[i] = dom.conditioners[i].take();
+            self.cond_poll_at[i] = dom.cond_poll_at[i];
+        }
+        for (flow, next) in dom.flow_next_id {
+            match self.flow_next_id.iter_mut().find(|(f, _)| *f == flow) {
+                Some((_, mine)) => *mine = (*mine).max(next),
+                None => self.flow_next_id.push((flow, next)),
+            }
+        }
+        self.stats.merge_from(dom.stats);
+        self.pool.absorb_high_water(dom.pool.high_water());
+        #[cfg(feature = "audit")]
+        self.audit.merge_from(dom.audit);
     }
 
     /// A packet arrived at a router: condition it, route it, and move it
@@ -587,12 +772,12 @@ impl<P: 'static> Network<P> {
     /// drops, busy ports, full queues) lifts the packet out and follows
     /// the classic store-and-forward path, producing the identical event
     /// sequence it always has.
-    fn router_arrive(
+    fn router_arrive<S: NetSink<P>>(
         &mut self,
         now: SimTime,
         node: NodeId,
         packet: PacketRef,
-        queue: &mut EventQueue<NetEvent>,
+        sink: &mut S,
     ) {
         let idx = node.0 as usize;
         let verdict = match self.conditioners[idx].as_mut() {
@@ -614,10 +799,10 @@ impl<P: 'static> Network<P> {
                     Some(port) => {
                         let p = &self.nodes[idx].ports[port.0 as usize];
                         if !p.busy && p.queued == 0 && size <= p.direct_cap {
-                            self.relay_transmit(now, node, port, size, packet, queue);
+                            self.relay_transmit(now, node, port, size, packet, sink);
                         } else {
                             let pkt = self.pool.take(packet);
-                            self.enqueue_on_port(now, node, port, pkt, queue);
+                            self.enqueue_on_port(now, node, port, pkt, sink);
                         }
                     }
                     None => {
@@ -644,24 +829,24 @@ impl<P: 'static> Network<P> {
             }
             QuickVerdict::NeedsSubmit => {
                 let pkt = self.pool.take(packet);
-                self.condition_and_forward(now, node, pkt, queue);
+                self.condition_and_forward(now, node, pkt, sink);
             }
         }
     }
 
-    fn condition_and_forward(
+    fn condition_and_forward<S: NetSink<P>>(
         &mut self,
         now: SimTime,
         node: NodeId,
         pkt: Packet<P>,
-        queue: &mut EventQueue<NetEvent>,
+        sink: &mut S,
     ) {
         let idx = node.0 as usize;
         if let Some(mut cond) = self.conditioners[idx].take() {
             let outcome = cond.submit(now, pkt);
             self.conditioners[idx] = Some(cond);
             match outcome {
-                ConditionOutcome::Pass(pkt) => self.forward(now, node, pkt, queue),
+                ConditionOutcome::Pass(pkt) => self.forward(now, node, pkt, sink),
                 ConditionOutcome::Drop(pkt, reason) => {
                     self.stats
                         .on_dropped(now, pkt.flow, pkt.id, pkt.size, node, reason);
@@ -669,29 +854,29 @@ impl<P: 'static> Network<P> {
                     self.audit.on_dropped(pkt.flow, pkt.id, pkt.size, node);
                 }
                 ConditionOutcome::Absorbed { poll_at } => {
-                    self.schedule_cond_poll(node, poll_at.max(now), queue);
+                    self.schedule_cond_poll(node, poll_at.max(now), sink);
                 }
             }
         } else {
-            self.forward(now, node, pkt, queue);
+            self.forward(now, node, pkt, sink);
         }
     }
 
     /// Request a conditioner poll at `at`, skipping the event if an earlier
     /// (or equal) poll is already pending — that one will observe the same
     /// queue head and reschedule as needed.
-    fn schedule_cond_poll(&mut self, node: NodeId, at: SimTime, queue: &mut EventQueue<NetEvent>) {
+    fn schedule_cond_poll<S: NetSink<P>>(&mut self, node: NodeId, at: SimTime, sink: &mut S) {
         let slot = &mut self.cond_poll_at[node.0 as usize];
         match slot {
             Some(pending) if *pending <= at => {}
             _ => {
                 *slot = Some(at);
-                queue.schedule(at, NetEvent::CondPoll(node));
+                sink.schedule(at, NetEvent::CondPoll(node));
             }
         }
     }
 
-    fn poll_conditioner(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent>) {
+    fn poll_conditioner<S: NetSink<P>>(&mut self, now: SimTime, node: NodeId, sink: &mut S) {
         let idx = node.0 as usize;
         // This firing satisfies the pending request (if it is the one we
         // tracked); later requests re-arm via `schedule_cond_poll`.
@@ -702,10 +887,10 @@ impl<P: 'static> Network<P> {
             let released = cond.release(now);
             self.conditioners[idx] = Some(cond);
             for pkt in released.packets {
-                self.forward(now, node, pkt, queue);
+                self.forward(now, node, pkt, sink);
             }
             if let Some(next) = released.next_poll {
-                self.schedule_cond_poll(node, next.max(now), queue);
+                self.schedule_cond_poll(node, next.max(now), sink);
             }
         }
     }
@@ -746,31 +931,32 @@ impl<P: 'static> Network<P> {
     }
 }
 
-impl<P: 'static> World for Network<P> {
-    type Event = NetEvent;
-
-    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+impl<P: 'static> Network<P> {
+    /// Dispatch one event through any [`NetSink`] — the single handler
+    /// shared by the serial engine ([`World::handle`] passes the event
+    /// queue) and the sharded engine (a per-domain stamping sink).
+    pub fn handle_event<S: NetSink<P>>(&mut self, now: SimTime, event: NetEvent, sink: &mut S) {
         #[cfg(feature = "audit")]
         self.audit.on_event(now);
         match event {
             NetEvent::Start(node) => {
-                self.dispatch_app(now, node, |app, ctx| app.on_start(ctx), queue);
+                self.dispatch_app(now, node, |app, ctx| app.on_start(ctx), sink);
             }
             NetEvent::Timer { node, token } => {
-                self.dispatch_app(now, node, |app, ctx| app.on_timer(ctx, token), queue);
+                self.dispatch_app(now, node, |app, ctx| app.on_timer(ctx, token), sink);
             }
             NetEvent::PortReady { node, port } => {
                 let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
                 p.busy = false;
-                self.transmit_next(now, node, port, queue);
+                self.transmit_next(now, node, port, sink);
             }
-            NetEvent::CondPoll(node) => self.poll_conditioner(now, node, queue),
+            NetEvent::CondPoll(node) => self.poll_conditioner(now, node, sink),
             NetEvent::Arrive { node, packet } => {
                 let idx = node.0 as usize;
                 #[cfg(feature = "audit")]
                 self.audit.on_arrive(node);
                 match self.nodes[idx].kind {
-                    NodeKind::Router => self.router_arrive(now, node, packet, queue),
+                    NodeKind::Router => self.router_arrive(now, node, packet, sink),
                     NodeKind::Host { .. } => {
                         let packet = self.pool.take(packet);
                         if packet.dst == node {
@@ -790,7 +976,7 @@ impl<P: 'static> World for Network<P> {
                                 now,
                                 node,
                                 |app, ctx| app.on_packet(ctx, packet),
-                                queue,
+                                sink,
                             );
                         } else {
                             // A packet washed up at the wrong host: surface
@@ -815,6 +1001,14 @@ impl<P: 'static> World for Network<P> {
     }
 }
 
+impl<P: 'static> World for Network<P> {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        self.handle_event(now, event, queue);
+    }
+}
+
 /// A network bundled with its event queue: the convenient top-level runner.
 pub struct Simulation<P> {
     /// The network world.
@@ -823,7 +1017,7 @@ pub struct Simulation<P> {
     pub queue: EventQueue<NetEvent>,
 }
 
-impl<P: 'static> Simulation<P> {
+impl<P: Send + 'static> Simulation<P> {
     /// Wrap a built network and schedule host start events.
     pub fn new(net: Network<P>) -> Self {
         // The paper's grids keep only a few dozen events pending (the
@@ -836,11 +1030,24 @@ impl<P: 'static> Simulation<P> {
 
     /// Run until no events remain.
     pub fn run(&mut self) -> dsv_sim::engine::RunStats {
-        dsv_sim::run(&mut self.net, &mut self.queue)
+        self.run_until(SimTime::MAX)
     }
 
     /// Run until `horizon` (inclusive).
+    ///
+    /// With `DSV_SHARDS` > 1 (and a topology that yields a safe parallel
+    /// window) the run is delegated to the sharded engine; otherwise —
+    /// and always by default — the serial dispatch loop runs. Both paths
+    /// produce the same statistics and post-run state.
     pub fn run_until(&mut self, horizon: SimTime) -> dsv_sim::engine::RunStats {
+        let shards = crate::shard::shards_from_env();
+        if shards > 1 {
+            if let Some(stats) =
+                crate::shard::run_sharded(&mut self.net, &mut self.queue, horizon, shards)
+            {
+                return stats;
+            }
+        }
         dsv_sim::run_until(&mut self.net, &mut self.queue, horizon)
     }
 

@@ -13,6 +13,13 @@
 //! generation it was issued for. A stale or duplicated ref (an event bug —
 //! e.g. an `Arrive` dispatched twice) panics immediately instead of
 //! silently delivering some other packet that happens to occupy the slot.
+//!
+//! The generation counter does **not** wrap: a slot whose counter reaches
+//! `u32::MAX` is retired (never returned to the free list), so no two
+//! refs to the same slot are ever issued with the same generation — even
+//! across the 2^32 recycle cycles a long sharded run can accumulate. The
+//! cost is one leaked slot per 2^32 takes, which is unreachable as a
+//! memory concern long before it is reachable as a correctness one.
 
 use crate::packet::Packet;
 
@@ -90,8 +97,15 @@ impl<P> PacketPool<P> {
             r.idx, slot.gen, r.gen
         );
         let pkt = slot.pkt.take().expect("live generation implies a packet");
-        slot.gen = slot.gen.wrapping_add(1);
-        self.free.push(r.idx);
+        // Never wrap the generation: refs are only issued for generations
+        // `< u32::MAX`, so retiring the slot at the ceiling guarantees a
+        // stale ref can never collide with a later one (aliasing after
+        // 2^32 recycles of one slot). The retired slot is simply not
+        // returned to the free list.
+        slot.gen += 1;
+        if slot.gen < u32::MAX {
+            self.free.push(r.idx);
+        }
         self.live -= 1;
         pkt
     }
@@ -121,6 +135,26 @@ impl<P> PacketPool<P> {
     /// high-water mark that sizes [`PacketPool::with_capacity`].
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Fold another pool's peak into this one's high-water mark — used
+    /// when per-domain pools are merged back after a sharded run so the
+    /// profile report reflects the true in-flight peak.
+    pub(crate) fn absorb_high_water(&mut self, peak: usize) {
+        if peak > self.high_water {
+            self.high_water = peak;
+        }
+    }
+
+    /// Test hook: age a slot's generation counter to `gen`, returning the
+    /// ref re-issued for that generation, so tests can force the retire
+    /// path without 2^32 real recycles.
+    #[cfg(test)]
+    fn force_generation(&mut self, r: PacketRef, gen: u32) -> PacketRef {
+        let slot = &mut self.slots[r.idx as usize];
+        assert_eq!(slot.gen, r.gen, "can only age a live, current ref");
+        slot.gen = gen;
+        PacketRef { idx: r.idx, gen }
     }
 }
 
@@ -175,6 +209,33 @@ mod tests {
         pool.take(a);
         pool.insert(pkt(2)); // reuses the slot under a new generation
         pool.take(a); // the old handle must not resolve
+    }
+
+    /// Forcing a slot's generation to the ceiling must retire it: the
+    /// slot is never handed out again, so a ref from before the "wrap"
+    /// can never alias a later packet.
+    #[test]
+    fn generation_ceiling_retires_slot_instead_of_wrapping() {
+        let mut pool = PacketPool::new();
+        let a = pool.insert(pkt(1));
+        // Age the slot to one take away from the ceiling.
+        let a = pool.force_generation(a, u32::MAX - 1);
+        assert_eq!(pool.take(a).id, PacketId(1));
+        // The slot hit u32::MAX and was retired: the next insert must use
+        // a fresh slot rather than recycling it at a wrapped generation.
+        let b = pool.insert(pkt(2));
+        assert_eq!(pool.live(), 1);
+        let taken = pool.take(b);
+        assert_eq!(taken.id, PacketId(2));
+        // With the old wrapping behaviour, `a` (gen MAX-1) could
+        // eventually alias a recycled slot whose counter wrapped back to
+        // MAX-1. Now the retired slot's counter is pinned at MAX, which
+        // no issued ref ever carries.
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut p = pool;
+            p.take(a)
+        }));
+        assert!(stale.is_err(), "stale ref into a retired slot must panic");
     }
 
     #[test]

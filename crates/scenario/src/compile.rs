@@ -14,10 +14,8 @@
 //! route tie-breaking follow link order), then conditioners. Two compiles
 //! of the same spec produce byte-identical simulations.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use dsv_diffserv::classifier::MatchRule;
@@ -27,7 +25,7 @@ use dsv_diffserv::policy::{PolicyAction, PolicyTable};
 use dsv_diffserv::shaper::Shaper;
 use dsv_diffserv::token_bucket::TokenBucket;
 use dsv_media::encoder::{mpeg1, wmv, EncodedClip};
-use dsv_net::app::{Application, Shared};
+use dsv_net::app::{Application, Handle, Shared};
 use dsv_net::conditioner::Conditioner;
 use dsv_net::link::Link;
 use dsv_net::network::{Network, NetworkBuilder};
@@ -52,7 +50,7 @@ use crate::spec::{
 
 /// A boxed conditioner over the stream payload — the type the compiler
 /// installs and the tap hook wraps.
-pub type BoxConditioner = Box<dyn Conditioner<StreamPayload>>;
+pub type BoxConditioner = Box<dyn Conditioner<StreamPayload> + Send>;
 
 /// Resolves [`crate::spec::MediaRef`]s to encoded clips. The experiment
 /// layer implements this over its memoized artifact store; specs stay
@@ -104,11 +102,11 @@ pub struct CompiledScenario {
     /// Name → id for every node, in case a caller needs an id directly.
     pub ids: HashMap<String, NodeId>,
     /// Stream clients, by node name, in creation order.
-    pub clients: Vec<(String, Rc<RefCell<StreamClient>>)>,
+    pub clients: Vec<(String, Handle<StreamClient>)>,
     /// Adaptive servers, by node name, in creation order.
-    pub adaptives: Vec<(String, Rc<RefCell<AdaptiveServer>>)>,
+    pub adaptives: Vec<(String, Handle<AdaptiveServer>)>,
     /// Id-recording sinks, by node name, in creation order.
-    pub id_sinks: Vec<(String, Rc<RefCell<IdSink>>)>,
+    pub id_sinks: Vec<(String, Handle<IdSink>)>,
     /// Audit conformance bounds, resolved to node ids.
     pub bounds: Vec<(NodeId, FlowId, u64, u32)>,
     /// Run horizon, when the spec declares one.
@@ -123,7 +121,7 @@ impl CompiledScenario {
 
     /// The (single) stream client's handle, if the scenario has exactly
     /// one.
-    pub fn sole_client(&self) -> Option<&Rc<RefCell<StreamClient>>> {
+    pub fn sole_client(&self) -> Option<&Handle<StreamClient>> {
         match self.clients.as_slice() {
             [(_, h)] => Some(h),
             _ => None,
@@ -138,7 +136,7 @@ fn to_limits(l: &LimitsSpec) -> QueueLimits {
     }
 }
 
-fn build_qdisc(q: &QdiscSpec) -> Box<dyn Qdisc<StreamPayload>> {
+fn build_qdisc(q: &QdiscSpec) -> Box<dyn Qdisc<StreamPayload> + Send> {
     match q {
         QdiscSpec::DropTail { limits } => Box::new(DropTailQueue::new(to_limits(limits))),
         QdiscSpec::StrictPriorityEf { ef, be } => Box::new(StrictPriorityQueue::ef_default(
@@ -191,9 +189,9 @@ impl<'s> Resolver<'s> {
 
 struct AppBuilder<'a> {
     store: Option<&'a dyn ClipStore>,
-    clients: Vec<(String, Rc<RefCell<StreamClient>>)>,
-    adaptives: Vec<(String, Rc<RefCell<AdaptiveServer>>)>,
-    id_sinks: Vec<(String, Rc<RefCell<IdSink>>)>,
+    clients: Vec<(String, Handle<StreamClient>)>,
+    adaptives: Vec<(String, Handle<AdaptiveServer>)>,
+    id_sinks: Vec<(String, Handle<IdSink>)>,
 }
 
 impl AppBuilder<'_> {
@@ -211,7 +209,7 @@ impl AppBuilder<'_> {
         app: &AppSpec,
         ids: &Resolver<'_>,
         rng: &mut SimRng,
-    ) -> Result<Box<dyn Application<StreamPayload>>, CompileError> {
+    ) -> Result<Box<dyn Application<StreamPayload> + Send>, CompileError> {
         Ok(match app {
             AppSpec::PacedServer {
                 client,

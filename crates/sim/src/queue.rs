@@ -54,36 +54,39 @@ impl QueueBackend {
     }
 }
 
-struct HeapEntry<E>(Entry<E>);
+/// Heap adapter shared with [`crate::stamped::StampedQueue`]: inverts the
+/// `(time, key)` order so `BinaryHeap` (a max-heap) pops the earliest
+/// entry first.
+pub(crate) struct HeapEntry<E, K>(pub(crate) Entry<E, K>);
 
-impl<E> PartialEq for HeapEntry<E> {
+impl<E, K: Ord> PartialEq for HeapEntry<E, K> {
     fn eq(&self, other: &Self) -> bool {
-        self.0.at == other.0.at && self.0.seq == other.0.seq
+        self.0.at == other.0.at && self.0.key == other.0.key
     }
 }
-impl<E> Eq for HeapEntry<E> {}
+impl<E, K: Ord> Eq for HeapEntry<E, K> {}
 
-impl<E> PartialOrd for HeapEntry<E> {
+impl<E, K: Ord> PartialOrd for HeapEntry<E, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for HeapEntry<E> {
+impl<E, K: Ord> Ord for HeapEntry<E, K> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // BinaryHeap is a max-heap; invert so the earliest (time, key) pops
         // first.
         other
             .0
             .at
             .cmp(&self.0.at)
-            .then_with(|| other.0.seq.cmp(&self.0.seq))
+            .then_with(|| other.0.key.cmp(&self.0.key))
     }
 }
 
 enum Backend<E> {
-    Wheel(Wheel<E>),
-    Heap(BinaryHeap<HeapEntry<E>>),
+    Wheel(Wheel<E, u64>),
+    Heap(BinaryHeap<HeapEntry<E, u64>>),
 }
 
 /// A time-ordered queue of events of type `E` with stable FIFO tie-breaking.
@@ -172,7 +175,11 @@ impl<E> EventQueue<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { at, seq, event };
+        let entry = Entry {
+            at,
+            key: seq,
+            event,
+        };
         match &mut self.backend {
             Backend::Wheel(w) => w.schedule(entry),
             Backend::Heap(h) => h.push(HeapEntry(entry)),
@@ -267,6 +274,18 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (diagnostic).
     pub fn scheduled_count(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Declare that virtual time has reached `now` without popping an
+    /// event: the watermark — the causality floor and the queue's notion
+    /// of [`EventQueue::now`] — advances to `max(watermark, now)`. The
+    /// sharded engine uses this after reassembling leftover events into a
+    /// fresh queue, so a later `run_for` measures its span from the same
+    /// instant a serial run would have reached.
+    pub fn advance_to(&mut self, now: SimTime) {
+        if now > self.watermark {
+            self.watermark = now;
+        }
     }
 
     /// Largest number of simultaneously pending events ever observed.

@@ -137,6 +137,33 @@ proptest! {
     ) {
         check_equivalence(&ops, "overflow-spans");
     }
+
+    /// The absolute far edge of the time axis: a three-regime mix of
+    /// near-future ties, top-level spans (~2^62 ns) and deltas chosen so
+    /// `now + delta` **saturates at `SimTime::MAX`**. Entries past the
+    /// wheel's covered span park in its overflow list; near-future pops
+    /// then drag the cursor forward until the parked entries must re-file
+    /// — regression coverage for the reintegration bug where re-filing
+    /// started from the current cursor instead of the earliest parked
+    /// tick and could reorder (or worse, never release) far-horizon
+    /// events.
+    #[test]
+    fn wheel_matches_heap_at_the_saturating_edge(
+        ops in prop::collection::vec((0u8..9, 0u64..3, 0u64..16_384), 1..200),
+    ) {
+        let shaped: Vec<(u8, u64)> = ops
+            .iter()
+            .map(|&(op, regime, small)| {
+                let delta = match regime {
+                    0 => small,                // near-future ties
+                    1 => (1u64 << 62) + small, // top wheel levels
+                    _ => u64::MAX - small,     // saturates at SimTime::MAX
+                };
+                (op, delta)
+            })
+            .collect();
+        check_equivalence(&shaped, "saturating-edge");
+    }
 }
 
 /// `SimTime::MAX` sentinels (zero-rate links park events there) must sort

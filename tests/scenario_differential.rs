@@ -10,13 +10,11 @@
 //! identical — on sampled points of the committed figure grids, under
 //! both the timing-wheel and the binary-heap backend.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use dsv_core::artifacts::{self, ArtifactStore, Codec};
 use dsv_core::local::{local_spec, LocalConfig, LocalTransport};
 use dsv_core::prelude::*;
 use dsv_core::qbone::{qbone_spec, QboneConfig};
+use dsv_net::app::Handle;
 use dsv_net::network::{Network, Simulation};
 use dsv_net::packet::FlowId;
 use dsv_scenario::{compile, CompileOptions};
@@ -58,7 +56,7 @@ mod legacy {
 
     /// The pre-IR QBone topology (paced server only — the sampled grid
     /// points all use it).
-    pub fn qbone_net(cfg: &QboneConfig) -> (Network<StreamPayload>, Rc<RefCell<StreamClient>>) {
+    pub fn qbone_net(cfg: &QboneConfig) -> (Network<StreamPayload>, Handle<StreamClient>) {
         let clip_id: ClipId = cfg.clip.into();
         let clip = artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
         let mut rng = SimRng::seed_from_u64(cfg.seed);
@@ -155,8 +153,8 @@ mod legacy {
     /// (for multi-rate runs) adaptive-server handles.
     pub type LocalNet = (
         Network<StreamPayload>,
-        Rc<RefCell<StreamClient>>,
-        Option<Rc<RefCell<AdaptiveServer>>>,
+        Handle<StreamClient>,
+        Option<Handle<AdaptiveServer>>,
     );
 
     /// The pre-IR local-testbed topology.
@@ -303,7 +301,7 @@ fn drive(
 fn score_qbone(
     cfg: &QboneConfig,
     sim: &Simulation<StreamPayload>,
-    client: &Rc<RefCell<StreamClient>>,
+    client: &Handle<StreamClient>,
 ) -> RunOutcome {
     let clip_id: dsv_media::scene::ClipId = cfg.clip.into();
     let report = client.borrow().report();
@@ -318,8 +316,8 @@ fn score_qbone(
 fn score_local(
     cfg: &LocalConfig,
     sim: &Simulation<StreamPayload>,
-    client: &Rc<RefCell<StreamClient>>,
-    adaptive: Option<&Rc<RefCell<AdaptiveServer>>>,
+    client: &Handle<StreamClient>,
+    adaptive: Option<&Handle<AdaptiveServer>>,
 ) -> RunOutcome {
     let clip_id: dsv_media::scene::ClipId = cfg.clip.into();
     let report = client.borrow().report();
