@@ -67,6 +67,16 @@ for backend in wheel heap; do
 done
 git diff --exit-code -- results/
 
+echo "==> cluster regeneration gate (exact mode vs clustering off, cache off)"
+# Exact clustering's contract is byte-identity: the committed figures must
+# regenerate bit-for-bit both with the cluster pre-pass on (the default)
+# and with every point individually simulated.
+for mode in exact off; do
+  DSV_CLUSTER=$mode DSV_CACHE=off ./target/release/fig07_qbone_lost > /dev/null
+  DSV_CLUSTER=$mode DSV_CACHE=off ./target/release/fig16_aggregate > /dev/null
+  git diff --exit-code -- results/
+done
+
 if [[ "$AUDIT" == 1 ]]; then
   echo "==> audit build"
   cargo build --release -p dsv-bench --features dsv-bench/audit

@@ -51,6 +51,16 @@ pub struct AggregateConfig {
     pub profile: EfProfile,
     /// Experiment seed.
     pub seed: u64,
+    /// Declaration-order rotation of the client/server pairs: the pair
+    /// carrying label `(p + rotation) % flows` is declared at position
+    /// `p`. The pairs are exact permutation symmetries (identical app,
+    /// path and conditioner treatment; only names and flow labels
+    /// differ), so every rotation canonicalizes to the same
+    /// symmetry-normal form and a rotated run equals the unrotated run
+    /// up to the flow↔position relabelling — which makes it the
+    /// declaration-order fairness sweep the cluster layer collapses to
+    /// one simulation.
+    pub rotation: u32,
 }
 
 impl AggregateConfig {
@@ -67,12 +77,26 @@ impl AggregateConfig {
             flows,
             profile,
             seed: 7,
+            rotation: 0,
         }
+    }
+
+    /// The same run with the client/server pairs declared rotated by
+    /// `rotation` positions.
+    pub fn with_rotation(mut self, rotation: u32) -> AggregateConfig {
+        self.rotation = rotation;
+        self
     }
 
     /// The media flow id of stream `i`.
     pub fn media_flow(i: u32) -> FlowId {
         FlowId(1 + i)
+    }
+
+    /// The pair label declared at position `p` under this config's
+    /// rotation.
+    fn label_at(&self, p: u32) -> u32 {
+        (p + self.rotation) % self.flows.max(1)
     }
 }
 
@@ -123,8 +147,12 @@ pub fn aggregate_spec(cfg: &AggregateConfig) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new("aggregate", cfg.seed);
 
     // Clients first, then the backbone, then the servers — the same
-    // shape as the single-flow QBone scenario, looped over names.
-    for i in 0..cfg.flows {
+    // shape as the single-flow QBone scenario, looped over names. Each
+    // loop walks declaration *positions*; the label carried at a
+    // position comes from `cfg.rotation` (0 everywhere but the
+    // declaration-order fairness sweep).
+    for p in 0..cfg.flows {
+        let i = cfg.label_at(p);
         spec.nodes.push(NodeSpec::host(
             &format!("client-{i}"),
             AppSpec::StreamClient {
@@ -140,7 +168,8 @@ pub fn aggregate_spec(cfg: &AggregateConfig) -> ScenarioSpec {
     spec.nodes.push(NodeSpec::router("core2"));
     spec.nodes.push(NodeSpec::router("core1"));
     spec.nodes.push(NodeSpec::router("remote-edge"));
-    for i in 0..cfg.flows {
+    for p in 0..cfg.flows {
+        let i = cfg.label_at(p);
         spec.nodes.push(NodeSpec::host(
             &format!("server-{i}"),
             AppSpec::PacedServer {
@@ -153,14 +182,16 @@ pub fn aggregate_spec(cfg: &AggregateConfig) -> ScenarioSpec {
     }
 
     // Access links (one per pair), then the shared wide-area path.
-    for i in 0..cfg.flows {
+    for p in 0..cfg.flows {
+        let i = cfg.label_at(p);
         spec.links.push(LinkSpec::simple(
             &format!("client-{i}"),
             "local-edge",
             LinkParams::ethernet_10mbps(),
         ));
     }
-    for i in 0..cfg.flows {
+    for p in 0..cfg.flows {
+        let i = cfg.label_at(p);
         spec.links.push(LinkSpec::simple(
             &format!("server-{i}"),
             "remote-edge",
@@ -225,6 +256,50 @@ pub fn aggregate_spec(cfg: &AggregateConfig) -> ScenarioSpec {
     spec
 }
 
+/// Canonical rank of each media flow: entry `i` is the position of flow
+/// `1 + i`'s outcome in a canonical-order per-flow vector (media flows
+/// sorted by their canonical flow ids). Two configs sharing a canonical
+/// form agree on canonical positions, so ranks are the bridge for
+/// transplanting per-flow outcomes between them (and the order cache
+/// entries are stored in).
+pub fn media_flow_ranks(canon: &dsv_scenario::Canonical, flows: u32) -> Vec<usize> {
+    let mut by_canon: Vec<(u32, u32)> = (0..flows)
+        .map(|i| {
+            let canon_id = canon
+                .canon_flow(AggregateConfig::media_flow(i).0)
+                .expect("every media flow appears in the spec");
+            (canon_id, i)
+        })
+        .collect();
+    by_canon.sort_unstable();
+    let mut rank = vec![0usize; flows as usize];
+    for (pos, &(_, label)) in by_canon.iter().enumerate() {
+        rank[label as usize] = pos;
+    }
+    rank
+}
+
+/// Reorder a label-indexed outcome into canonical order (`canon[rank[i]]
+/// = per_flow[i]`).
+pub fn to_canonical_order(out: &AggregateOutcome, rank: &[usize]) -> AggregateOutcome {
+    let mut per_flow = out.per_flow.clone();
+    for (i, f) in out.per_flow.iter().enumerate() {
+        per_flow[rank[i]] = f.clone();
+    }
+    AggregateOutcome { per_flow }
+}
+
+/// Reorder a canonical-order outcome back into this config's flow-label
+/// order (`per_flow[i] = canon[rank[i]]`).
+pub fn from_canonical_order(canon_out: &AggregateOutcome, rank: &[usize]) -> AggregateOutcome {
+    AggregateOutcome {
+        per_flow: rank
+            .iter()
+            .map(|&p| canon_out.per_flow[p].clone())
+            .collect(),
+    }
+}
+
 /// Run one aggregate session and score every flow.
 pub fn run_aggregate(cfg: &AggregateConfig) -> AggregateOutcome {
     let clip_id: ClipId = cfg.clip.into();
@@ -246,7 +321,20 @@ pub fn run_aggregate(cfg: &AggregateConfig) -> AggregateOutcome {
         cfg.flows as usize,
         "one client handle per flow"
     );
-    let clients: Vec<_> = compiled.clients.iter().map(|(_, h)| h.clone()).collect();
+    // Outcomes are reported per flow *label* (flow `1 + i` at index
+    // `i`), whatever declaration position the rotation put the pair at —
+    // the compiler hands clients back by node name, so look each one up.
+    let clients: Vec<_> = (0..cfg.flows)
+        .map(|i| {
+            let name = format!("client-{i}");
+            compiled
+                .clients
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, h)| h.clone())
+                .expect("every pair label has a client")
+        })
+        .collect();
     let horizon = compiled.horizon.expect("aggregate spec sets a horizon");
     let bounds = compiled.bounds.clone();
 
@@ -348,6 +436,81 @@ mod tests {
             out.worst_quality() < 0.15,
             "worst flow {}",
             out.worst_quality()
+        );
+    }
+
+    #[test]
+    fn rotated_declarations_permute_per_flow_outcomes_exactly() {
+        // The pairs are identical and in phase, so declaration order is
+        // the only asymmetry: the engine breaks same-instant ties by
+        // node id, which is declaration position. A rotated declaration
+        // must therefore reproduce the unrotated run *per position* —
+        // i.e. per flow label the outcomes permute exactly. This is the
+        // invariance the cluster layer's transplant relies on.
+        let n = 4u32;
+        let cfg = AggregateConfig::new(
+            ClipId2::Lost,
+            1_000_000,
+            n,
+            EfProfile::new(1_400_000 * n as u64, DEPTH_3MTU),
+        );
+        let r0 = run_aggregate(&cfg);
+        let r1 = run_aggregate(&cfg.clone().with_rotation(1));
+        let json = |o: &crate::experiment::RunOutcome| serde_json::to_string(o).unwrap();
+        for l in 0..n as usize {
+            // Label `l` sits at position `(l - rot) mod n`; rotation 0
+            // has the position-`p` outcome at index `p`.
+            let pos = (l + n as usize - 1) % n as usize;
+            assert_eq!(
+                json(&r1.per_flow[l]),
+                json(&r0.per_flow[pos]),
+                "flow {l} must reproduce position {pos}"
+            );
+        }
+        // Non-vacuity: at this starved point the positions genuinely
+        // differ (earlier declarations win policer ties), so the
+        // permutation above is not an identity map.
+        assert_ne!(json(&r0.per_flow[0]), json(&r0.per_flow[n as usize - 1]));
+        // And the spec-level symmetry the runner keys on holds too.
+        let a = dsv_scenario::canonicalize(&aggregate_spec(&cfg));
+        let b = dsv_scenario::canonicalize(&aggregate_spec(&cfg.clone().with_rotation(1)));
+        assert_eq!(a.json(), b.json());
+        assert_ne!(
+            aggregate_spec(&cfg).canonical_json(),
+            aggregate_spec(&cfg.clone().with_rotation(1)).canonical_json(),
+            "the raw specs differ; only the canonical forms coincide"
+        );
+    }
+
+    #[test]
+    fn canonical_ranks_bridge_rotations() {
+        let n = 4u32;
+        let cfg = AggregateConfig::new(
+            ClipId2::Lost,
+            1_000_000,
+            n,
+            EfProfile::new(5_600_000, DEPTH_3MTU),
+        );
+        let rot = cfg.clone().with_rotation(3);
+        let rank0 = media_flow_ranks(&dsv_scenario::canonicalize(&aggregate_spec(&cfg)), n);
+        let rank3 = media_flow_ranks(&dsv_scenario::canonicalize(&aggregate_spec(&rot)), n);
+        // Rotation 0 declares labels in order: ranks are the identity.
+        assert_eq!(rank0, vec![0, 1, 2, 3]);
+        // Rotation 3 declares label 3 first: its media flow ranks first.
+        assert_eq!(rank3[3], 0);
+        // Round trip: to-canonical then from-canonical is the identity.
+        let out = AggregateOutcome {
+            per_flow: (0..n)
+                .map(|i| crate::experiment::RunOutcome {
+                    rx_packets: i as u64,
+                    ..Default::default()
+                })
+                .collect(),
+        };
+        let back = from_canonical_order(&to_canonical_order(&out, &rank3), &rank3);
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&out).unwrap()
         );
     }
 

@@ -36,7 +36,7 @@ pub const DEPTH_2MTU: u32 = 3000;
 pub const DEPTH_3MTU: u32 = 4500;
 
 /// What a single streaming run produced — one point on a paper figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// VQM score against the same encoding (paper's first experiment set):
     /// 0 best, 1 worst.

@@ -24,9 +24,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{AggregateConfig, AggregateOutcome};
 use crate::experiment::{EfProfile, RunOutcome};
+use crate::keys::fnv1a64;
 use crate::local::LocalConfig;
 use crate::qbone::QboneConfig;
-use crate::runner::{fnv1a64, Job, Runner};
+use crate::runner::{Job, Runner};
 use crate::sweep::{SweepPoint, SweepResult};
 
 /// On-disk format of a golden results file.

@@ -29,6 +29,7 @@ pub mod artifacts;
 pub mod auditing;
 pub mod experiment;
 pub mod golden;
+pub mod keys;
 pub mod local;
 pub mod profile;
 pub mod qbone;
@@ -55,7 +56,7 @@ pub mod prelude {
     pub use crate::profile::ProfileSnapshot;
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};
     pub use crate::report::{format_sweep, format_table, table4_summary};
-    pub use crate::runner::{Job, Runner};
+    pub use crate::runner::{ClusterMode, ClusterPoint, Job, PointSource, Runner};
     pub use crate::sweep::{default_rate_grid, local_sweep, qbone_sweep, SweepPoint, SweepResult};
     pub use dsv_media::scene::ClipId;
 }

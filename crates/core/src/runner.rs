@@ -1,25 +1,43 @@
-//! Parallel, cached execution of experiment grids.
+//! Parallel, cached, symmetry-clustered execution of experiment grids.
 //!
 //! Every figure in the paper's evaluation is a grid of independent
 //! experiment runs (token rate × bucket depth, or a list of ablation
 //! configurations). Each run is a *pure function of its configuration*:
 //! all randomness is drawn from seeds stored in the config, so a point's
 //! [`RunOutcome`] does not depend on which thread computed it or in which
-//! order. The [`Runner`] exploits that twice:
+//! order. The [`Runner`] exploits that three ways:
 //!
 //! * **Parallelism** — grid points fan out over a scoped thread pool
 //!   (work-stealing by atomic index). Results land in per-point slots, so
 //!   the output order is the input order and a parallel run is
 //!   bit-identical to a serial one.
 //! * **Caching** — each point is content-addressed by an FNV-1a hash of
-//!   its kind tag and the canonical JSON of its **compiled scenario
-//!   spec** plus scoring parameters (`Job::cache_json`), so any
-//!   topology or profile change changes the address. Outcomes persist under
-//!   `results/cache/`, so re-running `all_figures` (or any figure binary)
-//!   skips every already-computed point. A config change — different
-//!   rate, depth, seed, clip, horizon — changes the hash and misses the
-//!   cache; the stored config is compared byte-for-byte on load to guard
-//!   against hash collisions and stale schema.
+//!   its kind tag and the **canonical** (symmetry-normal, see
+//!   [`dsv_scenario::canonicalize`]) JSON of its compiled scenario spec
+//!   plus scoring parameters (`Job::cache_json`, built on
+//!   [`crate::keys`]), so any topology or profile change changes the
+//!   address. Outcomes persist under `results/cache/`, so re-running
+//!   `all_figures` (or any figure binary) skips every already-computed
+//!   point. A config change — different rate, depth, seed, clip,
+//!   horizon — changes the hash and misses the cache; the stored config
+//!   is compared byte-for-byte on load to guard against hash collisions
+//!   and stale schema.
+//! * **Clustering** — before simulating, the grid is partitioned into
+//!   equivalence classes by the very same canonical address. In `exact`
+//!   mode (the default) only one representative per class is simulated
+//!   and every other member's outcome is transplanted from it — sound
+//!   because equal canonical forms mean the specs are relabellings of
+//!   one another and the engine's dynamics are label-blind (validated by
+//!   `aggregate::tests::rotated_declarations_permute_per_flow_outcomes_exactly`).
+//!   Aggregate outcomes transplant through per-flow canonical-rank maps
+//!   ([`crate::aggregate::media_flow_ranks`]); single-stream outcomes are
+//!   flow-agnostic and transplant by clone. In `approx:<eps>` mode,
+//!   representatives that differ *only* in their single policer token
+//!   rate are additionally bisected: if the outcomes at two bracketing
+//!   rates agree within `eps` on every headline metric, the points
+//!   between them inherit the nearest anchor's outcome, with the
+//!   recorded [`ErrorBound`] (anchor spread plus a wobble allowance)
+//!   riding along in the point's [`PointSource`].
 //!
 //! The cache deliberately does **not** hash the simulator code itself:
 //! after changing simulation behaviour, delete `results/cache/` (or run
@@ -32,7 +50,9 @@
 //! | `DSV_THREADS`  | worker count (`1` = serial; default: all cores; `0`/garbage warn on stderr and use the default) |
 //! | `DSV_CACHE`    | `0`/`off` disables; a path overrides the cache dir  |
 //! | `DSV_PROGRESS` | `1`/`0` forces the progress meter on/off (default: on when stderr is a TTY) |
+//! | `DSV_CLUSTER`  | `off` disables clustering; `exact` (default) merges provably symmetric points; `approx:<eps>` additionally interpolates across rate neighbours within `eps` |
 
+use std::collections::HashMap;
 use std::fs;
 use std::io::{IsTerminal, Write};
 use std::path::{Path, PathBuf};
@@ -43,12 +63,17 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::af::{af_spec, run_af, AfConfig};
-use crate::aggregate::{aggregate_spec, run_aggregate, AggregateConfig, AggregateOutcome};
+use crate::aggregate::{
+    aggregate_spec, from_canonical_order, media_flow_ranks, run_aggregate, to_canonical_order,
+    AggregateConfig, AggregateOutcome,
+};
 use crate::experiment::{EfProfile, RunOutcome};
+use crate::keys;
 use crate::local::{local_spec, run_local, LocalConfig};
 use crate::profile;
 use crate::qbone::{qbone_spec, run_qbone, QboneConfig};
 use crate::sweep::{SweepPoint, SweepResult};
+use dsv_scenario::{canonicalize, ActionSpec, ScenarioSpec};
 
 /// One unit of grid work: a fully specified experiment configuration.
 #[derive(Debug, Clone)]
@@ -82,17 +107,13 @@ impl Job {
         .expect("config serializes")
     }
 
-    /// The content the result cache addresses: the job's **compiled
-    /// scenario spec** (canonical JSON — the full topology, conditioners,
-    /// seed and horizon) plus the scoring parameters that shape the
-    /// outcome but live outside the topology. Keying the cache off the
-    /// spec means two configs that lower to the same simulation *and*
-    /// the same scoring share an entry, and any topology change — even
-    /// one the config struct cannot express — changes the address.
-    pub(crate) fn cache_json(&self) -> String {
-        let (spec, scoring) = match self {
+    /// The job's compiled scenario spec and the scoring parameters that
+    /// shape the outcome but live outside the topology — together, the
+    /// full semantic identity of the point.
+    pub(crate) fn spec_scoring(&self) -> (ScenarioSpec, Value) {
+        match self {
             Job::Qbone(cfg) => (
-                qbone_spec(cfg).to_value(),
+                qbone_spec(cfg),
                 Value::Object(vec![
                     ("clip".to_string(), cfg.clip.to_value()),
                     ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
@@ -100,21 +121,33 @@ impl Job {
                 ]),
             ),
             Job::Local(cfg) => (
-                local_spec(cfg).to_value(),
+                local_spec(cfg),
                 Value::Object(vec![
                     ("clip".to_string(), cfg.clip.to_value()),
                     ("cap_bps".to_string(), cfg.cap_bps.to_value()),
                 ]),
             ),
             Job::Af(cfg) => (
-                af_spec(cfg).to_value(),
+                af_spec(cfg),
                 Value::Object(vec![
                     ("clip".to_string(), cfg.clip.to_value()),
                     ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
                 ]),
             ),
-        };
-        cache_address(spec, scoring)
+        }
+    }
+
+    /// The content the result cache addresses: the **symmetry-normal**
+    /// form of the job's compiled scenario spec plus its scoring
+    /// parameters (see [`crate::keys`]). Keying the cache off the
+    /// canonical spec means two configs that lower to relabellings of
+    /// one simulation *and* the same scoring share an entry, and any
+    /// topology change — even one the config struct cannot express —
+    /// changes the address. This string is also the exact-cluster class
+    /// identity, by construction: one module computes both.
+    pub(crate) fn cache_json(&self) -> String {
+        let (spec, scoring) = self.spec_scoring();
+        keys::canonical_address(&spec, scoring)
     }
 
     /// Run the experiment this job describes.
@@ -127,24 +160,109 @@ impl Job {
     }
 }
 
-/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
-/// exactly what a content-addressed filename needs.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+/// How the cluster layer treats a grid before simulating it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterMode {
+    /// Simulate every point; the determinism reference.
+    Off,
+    /// Partition the grid by canonical spec identity and simulate one
+    /// representative per class; members get transplanted outcomes.
+    /// Byte-identical to [`ClusterMode::Off`] wherever symmetry is
+    /// provable — which is the only time points merge.
+    Exact,
+    /// [`ClusterMode::Exact`], plus: representatives differing only in
+    /// their single policer token rate are bisected, and points whose
+    /// bracketing anchors agree within the tolerance on every headline
+    /// metric inherit the nearest anchor's outcome with a recorded
+    /// [`ErrorBound`]. Trades exactness for fewer simulations.
+    Approx(f64),
 }
 
-/// Canonical cache-address JSON: `{"spec": …, "scoring": …}`.
-fn cache_address(spec: Value, scoring: Value) -> String {
-    serde_json::to_string(&Value::Object(vec![
-        ("spec".to_string(), spec),
-        ("scoring".to_string(), scoring),
-    ]))
-    .expect("cache address serializes")
+/// Slack added to an interpolated point's error bound beyond the anchor
+/// spread, covering the "mostly" in the sweeps' mostly-monotone loss
+/// curves (see `crate::analysis::mostly_monotone_decreasing`): loss-like
+/// metrics may wobble this far against the trend between anchors.
+pub const WOBBLE_LOSS: f64 = 0.02;
+/// [`WOBBLE_LOSS`]'s counterpart for VQM quality metrics, which ride on
+/// top of loss and wobble a little harder.
+pub const WOBBLE_QUALITY: f64 = 0.05;
+
+/// Per-metric bound on how far an interpolated outcome may sit from the
+/// ground truth a real simulation would produce: the spread between the
+/// two bracketing anchors (truth lies between them when the segment is
+/// monotone) plus the wobble allowance for non-monotone jitter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBound {
+    /// Bound on `quality`.
+    pub quality: f64,
+    /// Bound on `frame_loss`.
+    pub frame_loss: f64,
+    /// Bound on `packet_loss`.
+    pub packet_loss: f64,
+    /// Bound on `quality_vs_best`, when both anchors scored it.
+    pub quality_vs_best: Option<f64>,
+}
+
+/// Where a grid point's outcome came from.
+#[derive(Debug, Clone)]
+pub enum PointSource {
+    /// Simulated in this batch.
+    Simulated,
+    /// Loaded from the persistent result cache.
+    Cached,
+    /// Transplanted from the simulated representative of this point's
+    /// exact symmetry class (index into the batch's input order).
+    Reused {
+        /// Input index of the class representative.
+        representative: usize,
+    },
+    /// Inherited from the nearest of two bracketing rate anchors that
+    /// agreed within the approx tolerance.
+    Interpolated {
+        /// Input index of the lower-rate anchor.
+        lo: usize,
+        /// Input index of the higher-rate anchor.
+        hi: usize,
+        /// Recorded per-metric distance bound to ground truth.
+        bound: ErrorBound,
+    },
+}
+
+impl PointSource {
+    /// True for outcomes an actual simulation (or its cached result)
+    /// produced, false for transplants and interpolations.
+    pub fn is_direct(&self) -> bool {
+        matches!(self, PointSource::Simulated | PointSource::Cached)
+    }
+}
+
+impl Serialize for PointSource {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        match self {
+            PointSource::Simulated => Value::Object(vec![kind("simulated")]),
+            PointSource::Cached => Value::Object(vec![kind("cached")]),
+            PointSource::Reused { representative } => Value::Object(vec![
+                kind("reused"),
+                ("representative".to_string(), representative.to_value()),
+            ]),
+            PointSource::Interpolated { lo, hi, bound } => Value::Object(vec![
+                kind("interpolated"),
+                ("lo".to_string(), lo.to_value()),
+                ("hi".to_string(), hi.to_value()),
+                ("bound".to_string(), bound.to_value()),
+            ]),
+        }
+    }
+}
+
+/// One grid point's outcome plus its provenance.
+#[derive(Debug, Clone)]
+pub struct ClusterPoint<O> {
+    /// The outcome, whatever its source.
+    pub outcome: O,
+    /// Where it came from.
+    pub source: PointSource,
 }
 
 /// One persisted cache record. The address JSON rides along so a load
@@ -158,7 +276,10 @@ struct CacheEntry {
 }
 
 /// A persisted aggregate-run cache record (same guard discipline as
-/// [`CacheEntry`], different outcome shape).
+/// [`CacheEntry`], different outcome shape). The per-flow outcomes are
+/// stored in **canonical flow order** so any config in the entry's
+/// symmetry class can load it and transplant back through its own rank
+/// map.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct AggregateCacheEntry {
     kind: String,
@@ -168,10 +289,21 @@ struct AggregateCacheEntry {
 
 /// Live progress across worker threads: points done, throughput, ETA and
 /// aggregate drop counters, reported on stderr.
+///
+/// The throughput/ETA estimate counts **simulation slots**
+/// (`sims_done / planned_sims`), not grid points: cluster-reused and
+/// interpolated points land in microseconds, so folding them into the
+/// rate would first overestimate the remaining time (reused points
+/// pending at the simulated points' rate) and then whipsaw the rate
+/// upward when they all land at once.
 struct Progress {
     total: usize,
+    planned_sims: usize,
     done: AtomicUsize,
+    sims_done: AtomicUsize,
     cached: AtomicUsize,
+    reused: AtomicUsize,
+    interpolated: AtomicUsize,
     policer_drops: AtomicU64,
     queue_drops: AtomicU64,
     shaper_drops: AtomicU64,
@@ -180,11 +312,15 @@ struct Progress {
 }
 
 impl Progress {
-    fn new(total: usize, enabled: bool) -> Progress {
+    fn new(total: usize, planned_sims: usize, enabled: bool) -> Progress {
         Progress {
             total,
+            planned_sims,
             done: AtomicUsize::new(0),
+            sims_done: AtomicUsize::new(0),
             cached: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+            interpolated: AtomicUsize::new(0),
             policer_drops: AtomicU64::new(0),
             queue_drops: AtomicU64::new(0),
             shaper_drops: AtomicU64::new(0),
@@ -193,24 +329,57 @@ impl Progress {
         }
     }
 
-    /// Record a finished point given its aggregate drop counters
-    /// `(policer, queue, shaper)` — the shape-independent core of
-    /// progress accounting.
-    fn record_counts(&self, drops: (u64, u64, u64), cache_hit: bool) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        if cache_hit {
-            self.cached.fetch_add(1, Ordering::Relaxed);
-        }
+    fn add_drops(&self, drops: (u64, u64, u64)) {
         self.policer_drops.fetch_add(drops.0, Ordering::Relaxed);
         self.queue_drops.fetch_add(drops.1, Ordering::Relaxed);
         self.shaper_drops.fetch_add(drops.2, Ordering::Relaxed);
+    }
+
+    /// Record a directly-produced point (simulated, or served from the
+    /// persistent cache) given its aggregate drop counters
+    /// `(policer, queue, shaper)`.
+    fn record_counts(&self, drops: (u64, u64, u64), cache_hit: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sims_done.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        self.add_drops(drops);
+        if self.enabled {
+            self.print(done, false);
+        }
+    }
+
+    /// Record a point transplanted from its symmetry-class representative.
+    fn record_reused(&self, drops: (u64, u64, u64)) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.reused.fetch_add(1, Ordering::Relaxed);
+        self.add_drops(drops);
+        if self.enabled {
+            self.print(done, false);
+        }
+    }
+
+    /// Record a point inherited from a rate anchor in approx mode.
+    fn record_interpolated(&self, drops: (u64, u64, u64)) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.interpolated.fetch_add(1, Ordering::Relaxed);
+        self.add_drops(drops);
         if self.enabled {
             self.print(done, false);
         }
     }
 
     fn print(&self, done: usize, final_line: bool) {
-        let (rate, eta) = throughput_eta(done, self.total, self.start.elapsed().as_secs_f64());
+        let sims_done = self.sims_done.load(Ordering::Relaxed);
+        let cached = self.cached.load(Ordering::Relaxed);
+        let reused = self.reused.load(Ordering::Relaxed);
+        let interpolated = self.interpolated.load(Ordering::Relaxed);
+        let (rate, eta) = throughput_eta(
+            sims_done,
+            self.planned_sims,
+            self.start.elapsed().as_secs_f64(),
+        );
         let eta = match eta {
             Some(secs) => format!("{secs:.0}s"),
             None => "?".to_string(),
@@ -218,10 +387,11 @@ impl Progress {
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r[runner] {done}/{} points ({} cached) | {rate:.2} pts/s | ETA {eta} | \
+            "\r[runner] {done}/{} points ({} simulated, {cached} cached, {reused} reused, \
+             {interpolated} interpolated) | {rate:.2} sims/s | ETA {eta} | \
              drops: policer {}, queue {}, shaper {}",
             self.total,
-            self.cached.load(Ordering::Relaxed),
+            sims_done.saturating_sub(cached),
             self.policer_drops.load(Ordering::Relaxed),
             self.queue_drops.load(Ordering::Relaxed),
             self.shaper_drops.load(Ordering::Relaxed),
@@ -241,11 +411,14 @@ impl Progress {
 
 /// Throughput and remaining-time estimate for a progress line.
 ///
-/// Returns `(points_per_sec, Some(eta_secs))`; the ETA is `None` until
-/// the first point lands (with `done == 0` there is no rate to
-/// extrapolate from, and `total / ε` would print astronomical nonsense).
-/// An instantly-served grid (all cache hits, elapsed ≈ 0) yields a huge
-/// but finite rate and a zero ETA, never a division by zero or `NaN`.
+/// Callers pass **simulation** counts (`sims_done`, `planned_sims`), not
+/// grid-point counts — see [`Progress`] — so cluster-reused points never
+/// inflate the ETA. Returns `(sims_per_sec, Some(eta_secs))`; the ETA is
+/// `None` until the first slot lands (with `done == 0` there is no rate
+/// to extrapolate from, and `total / ε` would print astronomical
+/// nonsense). An instantly-served grid (all cache hits, elapsed ≈ 0)
+/// yields a huge but finite rate and a zero ETA, never a division by
+/// zero or `NaN`.
 fn throughput_eta(done: usize, total: usize, elapsed_secs: f64) -> (f64, Option<f64>) {
     if done == 0 {
         return (0.0, None);
@@ -256,12 +429,14 @@ fn throughput_eta(done: usize, total: usize, elapsed_secs: f64) -> (f64, Option<
 }
 
 /// The grid-execution engine: fans [`Job`]s over threads, with an
-/// optional persistent result cache. See the module docs for semantics.
+/// optional persistent result cache and a symmetry-cluster pre-pass. See
+/// the module docs for semantics.
 #[derive(Debug, Clone)]
 pub struct Runner {
     threads: usize,
     cache_dir: Option<PathBuf>,
     progress: bool,
+    cluster: ClusterMode,
 }
 
 /// Default cache location: `results/cache/` at the repository root.
@@ -277,14 +452,16 @@ impl Default for Runner {
                 .unwrap_or(1),
             cache_dir: Some(default_cache_dir()),
             progress: std::io::stderr().is_terminal(),
+            cluster: ClusterMode::Exact,
         }
     }
 }
 
 impl Runner {
     /// A runner configured from the environment (`DSV_THREADS`,
-    /// `DSV_CACHE`, `DSV_PROGRESS`); the defaults are all cores, the
-    /// persistent cache, and a progress meter when stderr is a TTY.
+    /// `DSV_CACHE`, `DSV_PROGRESS`, `DSV_CLUSTER`); the defaults are all
+    /// cores, the persistent cache, a progress meter when stderr is a
+    /// TTY, and exact clustering.
     pub fn from_env() -> Runner {
         let mut r = Runner::default();
         r.threads = dsv_sim::env::count_from_env("DSV_THREADS", r.threads);
@@ -298,16 +475,21 @@ impl Runner {
         if let Ok(v) = std::env::var("DSV_PROGRESS") {
             r.progress = v.trim() != "0";
         }
+        if let Ok(v) = std::env::var("DSV_CLUSTER") {
+            r.cluster = cluster_mode_from_str(v.trim());
+        }
         r
     }
 
-    /// A single-threaded runner with no cache and no progress output —
-    /// the reference configuration for determinism comparisons.
+    /// A single-threaded runner with no cache, no progress output and no
+    /// clustering — the reference configuration for determinism
+    /// comparisons (every point individually simulated).
     pub fn serial() -> Runner {
         Runner {
             threads: 1,
             cache_dir: None,
             progress: false,
+            cluster: ClusterMode::Off,
         }
     }
 
@@ -329,35 +511,345 @@ impl Runner {
         self
     }
 
+    /// Set the cluster mode.
+    pub fn with_cluster(mut self, mode: ClusterMode) -> Runner {
+        self.cluster = mode;
+        self
+    }
+
     /// Run every job, in parallel, returning outcomes **in job order**.
     ///
     /// Outcomes are pure functions of each job's config (every RNG in a
     /// run is seeded from it), so the result is identical for any thread
-    /// count — parallel output is byte-for-byte the serial output.
+    /// count — parallel output is byte-for-byte the serial output. Under
+    /// exact clustering (the default) symmetric points share one
+    /// simulation, which is byte-identical too; use
+    /// [`Runner::run_clustered`] to also see each point's provenance.
     pub fn run(&self, jobs: &[Job]) -> Vec<RunOutcome> {
-        self.run_indexed(
-            jobs.len(),
-            |i| self.run_one(&jobs[i]),
-            |o| (o.policer_drops, o.queue_drops, o.shaper_drops),
-        )
+        self.run_clustered(jobs)
+            .into_iter()
+            .map(|p| p.outcome)
+            .collect()
     }
 
     /// Run a batch of aggregate configurations, outcomes in input order,
-    /// through the same thread pool and persistent cache as [`run`].
+    /// through the same thread pool, persistent cache and cluster
+    /// pre-pass as [`run`].
     ///
     /// [`run`]: Runner::run
     pub fn run_aggregate_batch(&self, cfgs: &[AggregateConfig]) -> Vec<AggregateOutcome> {
-        self.run_indexed(
-            cfgs.len(),
-            |i| self.run_one_aggregate(&cfgs[i]),
-            |o| {
-                (
-                    o.per_flow.iter().map(|f| f.policer_drops).sum(),
-                    o.per_flow.iter().map(|f| f.queue_drops).sum(),
-                    o.per_flow.iter().map(|f| f.shaper_drops).sum(),
+        self.run_aggregate_clustered(cfgs)
+            .into_iter()
+            .map(|p| p.outcome)
+            .collect()
+    }
+
+    /// [`Runner::run`] with provenance: each outcome carries whether it
+    /// was simulated, cache-served, cluster-reused or interpolated.
+    pub fn run_clustered(&self, jobs: &[Job]) -> Vec<ClusterPoint<RunOutcome>> {
+        let counts = |o: &RunOutcome| (o.policer_drops, o.queue_drops, o.shaper_drops);
+        match self.cluster {
+            ClusterMode::Off => self.run_direct(jobs.len(), |i| self.run_one(&jobs[i]), counts),
+            ClusterMode::Exact => self.run_jobs_merged(jobs, None),
+            ClusterMode::Approx(eps) => self.run_jobs_merged(jobs, Some(eps)),
+        }
+    }
+
+    /// [`Runner::run_aggregate_batch`] with provenance. Approx mode
+    /// falls back to exact transplanting here: rate interpolation is
+    /// only defined for the single-stream sweeps whose monotone rate
+    /// response the metamorphic oracles certify.
+    pub fn run_aggregate_clustered(
+        &self,
+        cfgs: &[AggregateConfig],
+    ) -> Vec<ClusterPoint<AggregateOutcome>> {
+        let counts = |o: &AggregateOutcome| {
+            (
+                o.per_flow.iter().map(|f| f.policer_drops).sum(),
+                o.per_flow.iter().map(|f| f.queue_drops).sum(),
+                o.per_flow.iter().map(|f| f.shaper_drops).sum(),
+            )
+        };
+        let n = cfgs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.cluster == ClusterMode::Off {
+            return self.run_direct(n, |i| self.run_one_aggregate(&cfgs[i]), counts);
+        }
+
+        // Exact classes over the shared canonical address, with each
+        // config's flow-rank map retained to bridge per-flow outcomes
+        // between members of one class.
+        let canons: Vec<_> = cfgs
+            .iter()
+            .map(|c| canonicalize(&aggregate_spec(c)))
+            .collect();
+        let ranks: Vec<Vec<usize>> = canons
+            .iter()
+            .zip(cfgs)
+            .map(|(canon, cfg)| media_flow_ranks(canon, cfg.flows))
+            .collect();
+        let keys: Vec<String> = canons
+            .iter()
+            .zip(cfgs)
+            .map(|(canon, cfg)| {
+                format!(
+                    "{}\0{}",
+                    AGGREGATE_KIND,
+                    keys::cache_address(canon.spec.to_value(), aggregate_scoring(cfg))
                 )
-            },
-        )
+            })
+            .collect();
+        let rep_of = first_seen(&keys);
+        let reps: Vec<usize> = (0..n).filter(|&i| rep_of[i] == i).collect();
+        let mut slot_of = vec![usize::MAX; n];
+        for (slot, &i) in reps.iter().enumerate() {
+            slot_of[i] = slot;
+        }
+
+        let stages_before = profile::snapshot();
+        let progress = Progress::new(n, reps.len(), self.progress);
+        let rep_results = self.fan_out(
+            reps.len(),
+            &progress,
+            |slot| self.run_one_aggregate(&cfgs[reps[slot]]),
+            counts,
+        );
+        let out = (0..n)
+            .map(|i| {
+                let rep = rep_of[i];
+                let (outcome, hit) = &rep_results[slot_of[rep]];
+                if rep == i {
+                    ClusterPoint {
+                        outcome: outcome.clone(),
+                        source: if *hit {
+                            PointSource::Cached
+                        } else {
+                            PointSource::Simulated
+                        },
+                    }
+                } else {
+                    // Same canonical form ⟹ same flow count; transplant
+                    // the representative's per-flow outcomes through the
+                    // two rank maps (rep label order → canonical order →
+                    // member label order).
+                    let transplanted =
+                        from_canonical_order(&to_canonical_order(outcome, &ranks[rep]), &ranks[i]);
+                    progress.record_reused(counts(&transplanted));
+                    ClusterPoint {
+                        outcome: transplanted,
+                        source: PointSource::Reused {
+                            representative: rep,
+                        },
+                    }
+                }
+            })
+            .collect();
+        progress.finish();
+        profile::report(&format!("batch of {n}"), &stages_before);
+        out
+    }
+
+    /// Cluster-free execution: every point produced directly (simulated
+    /// or cache-served), fanned over the thread pool.
+    fn run_direct<O: Send + Sync + Clone>(
+        &self,
+        n: usize,
+        exec: impl Fn(usize) -> (O, bool) + Sync,
+        counts: impl Fn(&O) -> (u64, u64, u64) + Sync,
+    ) -> Vec<ClusterPoint<O>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let stages_before = profile::snapshot();
+        let progress = Progress::new(n, n, self.progress);
+        let results = self.fan_out(n, &progress, exec, counts);
+        progress.finish();
+        profile::report(&format!("batch of {n}"), &stages_before);
+        results
+            .into_iter()
+            .map(|(outcome, hit)| ClusterPoint {
+                outcome,
+                source: if hit {
+                    PointSource::Cached
+                } else {
+                    PointSource::Simulated
+                },
+            })
+            .collect()
+    }
+
+    /// The exact/approx cluster engine for [`Job`] grids: partition by
+    /// canonical address, simulate representatives (bisecting rate
+    /// families when `eps` is given), transplant members.
+    fn run_jobs_merged(&self, jobs: &[Job], eps: Option<f64>) -> Vec<ClusterPoint<RunOutcome>> {
+        let counts = |o: &RunOutcome| (o.policer_drops, o.queue_drops, o.shaper_drops);
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let keys: Vec<String> = jobs
+            .iter()
+            .map(|j| format!("{}\0{}", j.kind(), j.cache_json()))
+            .collect();
+        let rep_of = first_seen(&keys);
+        let reps: Vec<usize> = (0..n).filter(|&i| rep_of[i] == i).collect();
+        let mut slot_of = vec![usize::MAX; n];
+        for (slot, &i) in reps.iter().enumerate() {
+            slot_of[i] = slot;
+        }
+
+        // Approx mode: group representatives whose canonical specs
+        // differ only in their single policer token rate. Families of at
+        // least three points have an interior to interpolate; everything
+        // else simulates directly.
+        let mut singles: Vec<usize> = Vec::new();
+        let mut families: Vec<Vec<(u64, usize)>> = Vec::new();
+        if let Some(_eps) = eps {
+            let mut by_family: HashMap<String, Vec<(u64, usize)>> = HashMap::new();
+            for (slot, &i) in reps.iter().enumerate() {
+                match rate_family(&jobs[i]) {
+                    Some((fam, rate)) => by_family.entry(fam).or_default().push((rate, slot)),
+                    None => singles.push(slot),
+                }
+            }
+            // Deterministic order: families by their lowest member slot.
+            let mut fams: Vec<Vec<(u64, usize)>> = by_family.into_values().collect();
+            fams.sort_by_key(|f| f.iter().map(|&(_, slot)| slot).min());
+            for mut fam in fams {
+                if fam.len() < 3 {
+                    singles.extend(fam.iter().map(|&(_, slot)| slot));
+                } else {
+                    fam.sort_unstable();
+                    families.push(fam);
+                }
+            }
+            singles.sort_unstable();
+        } else {
+            singles = (0..reps.len()).collect();
+        }
+
+        let stages_before = profile::snapshot();
+        // `planned_sims` is the exact-mode upper bound; interpolation
+        // only ever retires slots early, so the ETA stays conservative.
+        let progress = Progress::new(n, reps.len(), self.progress);
+        let mut rep_points: Vec<Option<ClusterPoint<RunOutcome>>> = vec![None; reps.len()];
+
+        let single_results = self.fan_out(
+            singles.len(),
+            &progress,
+            |k| self.run_one(&jobs[reps[singles[k]]]),
+            counts,
+        );
+        for (&slot, (outcome, hit)) in singles.iter().zip(single_results) {
+            rep_points[slot] = Some(ClusterPoint {
+                outcome,
+                source: if hit {
+                    PointSource::Cached
+                } else {
+                    PointSource::Simulated
+                },
+            });
+        }
+
+        if let Some(eps) = eps {
+            for fam in &families {
+                self.bisect_family(jobs, &reps, fam, eps, &mut rep_points, &progress);
+            }
+        }
+
+        let out = (0..n)
+            .map(|i| {
+                let rep = rep_of[i];
+                let point = rep_points[slot_of[rep]]
+                    .as_ref()
+                    .expect("every representative resolved");
+                if rep == i {
+                    point.clone()
+                } else {
+                    progress.record_reused(counts(&point.outcome));
+                    ClusterPoint {
+                        outcome: point.outcome.clone(),
+                        source: PointSource::Reused {
+                            representative: rep,
+                        },
+                    }
+                }
+            })
+            .collect();
+        progress.finish();
+        profile::report(&format!("batch of {n}"), &stages_before);
+        out
+    }
+
+    /// Recursive (explicit-stack) bisection of one rate family, sorted
+    /// by rate: simulate the endpoints; where two bracketing anchors
+    /// agree within `eps` on every headline metric, the interior points
+    /// inherit the nearest anchor's outcome with a recorded bound;
+    /// otherwise split at the middle point and recurse on both halves.
+    fn bisect_family(
+        &self,
+        jobs: &[Job],
+        reps: &[usize],
+        fam: &[(u64, usize)],
+        eps: f64,
+        rep_points: &mut [Option<ClusterPoint<RunOutcome>>],
+        progress: &Progress,
+    ) {
+        let counts = |o: &RunOutcome| (o.policer_drops, o.queue_drops, o.shaper_drops);
+        let simulate = |idx: usize, rep_points: &mut [Option<ClusterPoint<RunOutcome>>]| {
+            let slot = fam[idx].1;
+            if rep_points[slot].is_none() {
+                let (outcome, hit) = self.run_one(&jobs[reps[slot]]);
+                progress.record_counts(counts(&outcome), hit);
+                rep_points[slot] = Some(ClusterPoint {
+                    outcome,
+                    source: if hit {
+                        PointSource::Cached
+                    } else {
+                        PointSource::Simulated
+                    },
+                });
+            }
+        };
+        simulate(0, rep_points);
+        simulate(fam.len() - 1, rep_points);
+        let mut stack = vec![(0usize, fam.len() - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi - lo <= 1 {
+                continue;
+            }
+            let olo = rep_points[fam[lo].1].as_ref().expect("lo anchor simulated");
+            let ohi = rep_points[fam[hi].1].as_ref().expect("hi anchor simulated");
+            if anchors_agree(&olo.outcome, &ohi.outcome, eps) {
+                let bound = error_bound(&olo.outcome, &ohi.outcome);
+                let (olo, ohi) = (olo.clone(), ohi.clone());
+                for k in lo + 1..hi {
+                    // Nearest anchor by token-rate distance, ties to the
+                    // lower anchor.
+                    let nearest = if fam[k].0 - fam[lo].0 <= fam[hi].0 - fam[k].0 {
+                        &olo
+                    } else {
+                        &ohi
+                    };
+                    progress.record_interpolated(counts(&nearest.outcome));
+                    rep_points[fam[k].1] = Some(ClusterPoint {
+                        outcome: nearest.outcome.clone(),
+                        source: PointSource::Interpolated {
+                            lo: reps[fam[lo].1],
+                            hi: reps[fam[hi].1],
+                            bound: bound.clone(),
+                        },
+                    });
+                }
+            } else {
+                let mid = (lo + hi) / 2;
+                simulate(mid, rep_points);
+                stack.push((lo, mid));
+                stack.push((mid, hi));
+            }
+        }
     }
 
     /// The shared fan-out engine behind every batch entry point: `n`
@@ -365,19 +857,18 @@ impl Runner {
     /// over the scoped thread pool with results returned **in index
     /// order** regardless of thread count. `counts` extracts the drop
     /// counters the live progress line accumulates.
-    fn run_indexed<O: Send + Sync>(
+    fn fan_out<O: Send + Sync>(
         &self,
         n: usize,
+        progress: &Progress,
         exec: impl Fn(usize) -> (O, bool) + Sync,
         counts: impl Fn(&O) -> (u64, u64, u64) + Sync,
-    ) -> Vec<O> {
+    ) -> Vec<(O, bool)> {
         if n == 0 {
             return Vec::new();
         }
         let slots: Vec<OnceLock<(O, bool)>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
-        let progress = Progress::new(n, self.progress);
-        let stages_before = profile::snapshot();
         let workers = self.threads.clamp(1, n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -394,21 +885,10 @@ impl Runner {
                 });
             }
         });
-        progress.finish();
-        profile::report(&format!("batch of {n}"), &stages_before);
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("worker filled every slot").0)
+            .map(|s| s.into_inner().expect("worker filled every slot"))
             .collect()
-    }
-
-    /// The content-addressed cache path for `(kind, address)`.
-    fn cache_path(dir: &Path, kind: &str, address: &str) -> PathBuf {
-        let mut keyed = Vec::with_capacity(kind.len() + 1 + address.len());
-        keyed.extend_from_slice(kind.as_bytes());
-        keyed.push(0);
-        keyed.extend_from_slice(address.as_bytes());
-        dir.join(format!("{}-{:016x}.json", kind, fnv1a64(&keyed)))
     }
 
     /// Run one job, consulting the cache; returns `(outcome, cache_hit)`.
@@ -417,7 +897,7 @@ impl Runner {
             return (job.execute(), false);
         };
         let config = job.cache_json();
-        let path = Self::cache_path(dir, job.kind(), &config);
+        let path = keys::cache_path(dir, job.kind(), &config);
         if let Some(outcome) = load_cached(&path, job.kind(), &config) {
             return (outcome, true);
         }
@@ -434,31 +914,34 @@ impl Runner {
         (outcome, false)
     }
 
-    /// Run one aggregate config, consulting the cache.
+    /// Run one aggregate config, consulting the cache. Entries are
+    /// addressed by the config's canonical spec and stored in canonical
+    /// flow order, so every member of a symmetry class shares one entry;
+    /// outcomes are transplanted back through this config's rank map.
     fn run_one_aggregate(&self, cfg: &AggregateConfig) -> (AggregateOutcome, bool) {
-        const KIND: &str = "aggregate";
         let Some(dir) = &self.cache_dir else {
             return (run_aggregate(cfg), false);
         };
-        let config = cache_address(
-            aggregate_spec(cfg).to_value(),
-            Value::Object(vec![
-                ("clip".to_string(), cfg.clip.to_value()),
-                ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
-            ]),
-        );
-        let path = Self::cache_path(dir, KIND, &config);
-        if let Some(outcome) = load_cached_aggregate(&path, KIND, &config) {
-            return (outcome, true);
+        let canon = canonicalize(&aggregate_spec(cfg));
+        let rank = media_flow_ranks(&canon, cfg.flows);
+        let config = keys::cache_address(canon.spec.to_value(), aggregate_scoring(cfg));
+        let path = keys::cache_path(dir, AGGREGATE_KIND, &config);
+        if let Some(canon_out) = load_cached_aggregate(&path, AGGREGATE_KIND, &config) {
+            // Flow-count guard against a stale entry shape; the address
+            // fixes the canonical spec, so the count always matches in
+            // practice.
+            if canon_out.per_flow.len() == cfg.flows as usize {
+                return (from_canonical_order(&canon_out, &rank), true);
+            }
         }
         let outcome = run_aggregate(cfg);
         store_cached_aggregate(
             dir,
             &path,
             &AggregateCacheEntry {
-                kind: KIND.to_string(),
+                kind: AGGREGATE_KIND.to_string(),
                 config,
-                outcome: outcome.clone(),
+                outcome: to_canonical_order(&outcome, &rank),
             },
         );
         (outcome, false)
@@ -538,6 +1021,134 @@ impl Runner {
     pub fn run_af_batch(&self, cfgs: &[AfConfig]) -> Vec<RunOutcome> {
         let jobs: Vec<Job> = cfgs.iter().cloned().map(Job::Af).collect();
         self.run(&jobs)
+    }
+}
+
+/// The cache/cluster kind tag of aggregate runs.
+const AGGREGATE_KIND: &str = "aggregate";
+
+/// The scoring parameters of an aggregate run (its cache address pairs
+/// these with the canonical spec).
+fn aggregate_scoring(cfg: &AggregateConfig) -> Value {
+    Value::Object(vec![
+        ("clip".to_string(), cfg.clip.to_value()),
+        ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
+    ])
+}
+
+/// Parse a `DSV_CLUSTER` value; unrecognized input warns on stderr and
+/// falls back to the exact default rather than silently changing
+/// semantics.
+fn cluster_mode_from_str(v: &str) -> ClusterMode {
+    match v {
+        "off" | "0" => ClusterMode::Off,
+        "" | "exact" | "1" => ClusterMode::Exact,
+        _ => {
+            if let Some(eps) = v.strip_prefix("approx:") {
+                match eps.trim().parse::<f64>() {
+                    Ok(e) if e.is_finite() && e >= 0.0 => return ClusterMode::Approx(e),
+                    _ => eprintln!(
+                        "[runner] DSV_CLUSTER={v:?}: tolerance must be a finite number >= 0; \
+                         using exact clustering"
+                    ),
+                }
+            } else {
+                eprintln!(
+                    "[runner] DSV_CLUSTER={v:?} not recognized \
+                     (expected off, exact or approx:<eps>); using exact clustering"
+                );
+            }
+            ClusterMode::Exact
+        }
+    }
+}
+
+/// Map each index to the first index carrying the same key (itself for
+/// class representatives).
+fn first_seen(keys: &[String]) -> Vec<usize> {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    keys.iter()
+        .enumerate()
+        .map(|(i, k)| *seen.entry(k.as_str()).or_insert(i))
+        .collect()
+}
+
+/// The approx-mode rate-family key of a job: its canonical spec with the
+/// single distinct policer token rate masked out (in the policer actions
+/// and the matching audit bounds), paired with that rate. Two jobs in one
+/// family differ **only** in that rate — the one independent variable
+/// the paper's rate sweeps move — so interpolating between them walks a
+/// curve the metamorphic monotonicity oracles certify as mostly
+/// monotone. Jobs with zero or several distinct policer rates have no
+/// family and always simulate.
+fn rate_family(job: &Job) -> Option<(String, u64)> {
+    let (spec, scoring) = job.spec_scoring();
+    let mut canon = canonicalize(&spec).spec;
+    let mut rates: Vec<u64> = canon
+        .conditioners
+        .iter()
+        .flat_map(|c| c.rules.iter())
+        .filter_map(|r| match r.action {
+            ActionSpec::Police { rate_bps, .. } => Some(rate_bps),
+            _ => None,
+        })
+        .collect();
+    rates.sort_unstable();
+    rates.dedup();
+    if rates.len() != 1 || rates[0] == 0 {
+        return None;
+    }
+    let rate = rates[0];
+    for c in &mut canon.conditioners {
+        for r in &mut c.rules {
+            if let ActionSpec::Police { rate_bps, .. } = &mut r.action {
+                *rate_bps = 0;
+            }
+        }
+    }
+    for b in &mut canon.bounds {
+        if b.rate_bps == rate {
+            b.rate_bps = 0;
+        }
+    }
+    Some((
+        format!(
+            "{}\0{}",
+            job.kind(),
+            keys::cache_address(canon.to_value(), scoring)
+        ),
+        rate,
+    ))
+}
+
+/// True when two anchors agree within `eps` on every headline metric
+/// (and broke down the same way) — the gate for interpolating between
+/// them.
+fn anchors_agree(a: &RunOutcome, b: &RunOutcome, eps: f64) -> bool {
+    let close = |x: f64, y: f64| (x - y).abs() <= eps;
+    close(a.quality, b.quality)
+        && close(a.frame_loss, b.frame_loss)
+        && close(a.packet_loss, b.packet_loss)
+        && match (a.quality_vs_best, b.quality_vs_best) {
+            (None, None) => true,
+            (Some(x), Some(y)) => close(x, y),
+            _ => false,
+        }
+        && a.broken == b.broken
+}
+
+/// The recorded bound for points interpolated between two anchors: the
+/// anchor spread (monotone truth lies between the anchors) plus the
+/// wobble allowance for the curves' residual non-monotonicity.
+fn error_bound(a: &RunOutcome, b: &RunOutcome) -> ErrorBound {
+    ErrorBound {
+        quality: (a.quality - b.quality).abs() + WOBBLE_QUALITY,
+        frame_loss: (a.frame_loss - b.frame_loss).abs() + WOBBLE_LOSS,
+        packet_loss: (a.packet_loss - b.packet_loss).abs() + WOBBLE_LOSS,
+        quality_vs_best: match (a.quality_vs_best, b.quality_vs_best) {
+            (Some(x), Some(y)) => Some((x - y).abs() + WOBBLE_QUALITY),
+            _ => None,
+        },
     }
 }
 
@@ -660,6 +1271,102 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_jobs_cluster_to_one_simulation() {
+        // Three jobs, two identical: exact mode simulates the two
+        // distinct points and transplants the duplicate, with the
+        // provenance saying so — and the outcomes byte-match a full
+        // unclustered run.
+        let mut other = tiny_base();
+        other.profile = EfProfile::new(1_400_000, DEPTH_3MTU);
+        let jobs = [
+            Job::Qbone(tiny_base()),
+            Job::Qbone(other),
+            Job::Qbone(tiny_base()),
+        ];
+        let clustered = Runner::serial()
+            .with_cluster(ClusterMode::Exact)
+            .run_clustered(&jobs);
+        assert!(matches!(clustered[0].source, PointSource::Simulated));
+        assert!(matches!(clustered[1].source, PointSource::Simulated));
+        assert!(matches!(
+            clustered[2].source,
+            PointSource::Reused { representative: 0 }
+        ));
+        let full = Runner::serial().run(&jobs);
+        for (c, f) in clustered.iter().zip(&full) {
+            assert_eq!(
+                serde_json::to_string(&c.outcome).unwrap(),
+                serde_json::to_string(f).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_mode_parsing_warns_and_defaults() {
+        assert_eq!(cluster_mode_from_str("off"), ClusterMode::Off);
+        assert_eq!(cluster_mode_from_str("0"), ClusterMode::Off);
+        assert_eq!(cluster_mode_from_str("exact"), ClusterMode::Exact);
+        assert_eq!(cluster_mode_from_str("1"), ClusterMode::Exact);
+        assert_eq!(cluster_mode_from_str(""), ClusterMode::Exact);
+        assert_eq!(
+            cluster_mode_from_str("approx:0.05"),
+            ClusterMode::Approx(0.05)
+        );
+        // Garbage (including non-finite or negative tolerances) warns
+        // and falls back to the exact default.
+        assert_eq!(cluster_mode_from_str("approx:"), ClusterMode::Exact);
+        assert_eq!(cluster_mode_from_str("approx:-1"), ClusterMode::Exact);
+        assert_eq!(cluster_mode_from_str("approx:inf"), ClusterMode::Exact);
+        assert_eq!(cluster_mode_from_str("fast"), ClusterMode::Exact);
+    }
+
+    #[test]
+    fn rate_families_group_rate_neighbours_only() {
+        // Two qbone configs differing only in policer token rate share a
+        // family and carry their own rates; a different bucket depth is
+        // a different family.
+        let mut a = tiny_base();
+        a.profile = EfProfile::new(1_000_000, DEPTH_2MTU);
+        let mut b = tiny_base();
+        b.profile = EfProfile::new(1_200_000, DEPTH_2MTU);
+        let mut c = tiny_base();
+        c.profile = EfProfile::new(1_000_000, DEPTH_3MTU);
+        let (fam_a, rate_a) = rate_family(&Job::Qbone(a)).unwrap();
+        let (fam_b, rate_b) = rate_family(&Job::Qbone(b)).unwrap();
+        let (fam_c, _) = rate_family(&Job::Qbone(c)).unwrap();
+        assert_eq!(fam_a, fam_b);
+        assert_eq!((rate_a, rate_b), (1_000_000, 1_200_000));
+        assert_ne!(fam_a, fam_c);
+    }
+
+    #[test]
+    fn error_bounds_cover_anchor_spread_plus_wobble() {
+        let a = RunOutcome {
+            quality: 0.30,
+            frame_loss: 0.10,
+            packet_loss: 0.05,
+            ..Default::default()
+        };
+        let mut b = RunOutcome {
+            quality: 0.20,
+            frame_loss: 0.12,
+            packet_loss: 0.05,
+            ..Default::default()
+        };
+        assert!(anchors_agree(&a, &b, 0.1));
+        assert!(!anchors_agree(&a, &b, 0.05));
+        let bound = error_bound(&a, &b);
+        assert!((bound.quality - (0.10 + WOBBLE_QUALITY)).abs() < 1e-12);
+        assert!((bound.frame_loss - (0.02 + WOBBLE_LOSS)).abs() < 1e-12);
+        assert!((bound.packet_loss - WOBBLE_LOSS).abs() < 1e-12);
+        assert!(bound.quality_vs_best.is_none());
+        // A broken session never merges with a healthy one, however
+        // close the numbers.
+        b.broken = true;
+        assert!(!anchors_agree(&a, &b, 1.0));
+    }
+
+    #[test]
     fn cache_round_trips_and_guards_config() {
         let dir = std::env::temp_dir().join(format!("dsv-runner-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
@@ -689,7 +1396,7 @@ mod tests {
         let runner = Runner::serial().with_cache(Some(dir.clone()));
         let job = Job::Qbone(tiny_base());
         // Poison the exact cache path this job addresses.
-        let path = Runner::cache_path(&dir, job.kind(), &job.cache_json());
+        let path = keys::cache_path(&dir, job.kind(), &job.cache_json());
         fs::write(&path, "{not json").unwrap();
         let (_, hit) = runner.run_one(&job);
         assert!(!hit, "corrupt entry must not count as a hit");
@@ -746,7 +1453,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let job = Job::Qbone(tiny_base());
         let config = job.cache_json();
-        let path = Runner::cache_path(&dir, job.kind(), &config);
+        let path = keys::cache_path(&dir, job.kind(), &config);
         let entry = CacheEntry {
             kind: job.kind().to_string(),
             config: config.clone(),
@@ -826,18 +1533,28 @@ mod tests {
     }
 
     #[test]
+    fn eta_counts_simulation_slots_not_reused_points() {
+        // A 40-point grid clustering down to 30 simulations, 10 of them
+        // done after 5 s: the reused points land for free, so the honest
+        // remaining time is the 20 pending *simulations* (10 s). Feeding
+        // the ETA grid-point totals instead would promise 15 s — a 50%
+        // overestimate that grows with the reuse ratio.
+        let (_, eta_sims) = throughput_eta(10, 30, 5.0);
+        assert!((eta_sims.unwrap() - 10.0).abs() < 1e-12);
+        let (_, eta_points) = throughput_eta(10, 40, 5.0);
+        assert!(eta_points.unwrap() > eta_sims.unwrap());
+    }
+
+    #[test]
     fn empty_grid_produces_no_output_and_no_panic() {
         // An empty job list returns early: no progress line, no division
         // by the zero elapsed time, just an empty result.
         let out = Runner::serial().with_progress(true).run(&[]);
         assert!(out.is_empty());
-    }
-
-    #[test]
-    fn fnv_matches_reference_values() {
-        // Published FNV-1a 64 test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        let out = Runner::serial()
+            .with_cluster(ClusterMode::Exact)
+            .with_progress(true)
+            .run(&[]);
+        assert!(out.is_empty());
     }
 }

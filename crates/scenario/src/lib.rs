@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod canonical;
 pub mod compile;
 pub mod partition;
 pub mod spec;
 
+pub use canonical::{canonicalize, flow_counterparts, Canonical};
 pub use compile::{
     compile, BoxConditioner, ClipStore, CompileError, CompileOptions, CompiledScenario,
 };

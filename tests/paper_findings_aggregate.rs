@@ -54,6 +54,44 @@ fn at(outs: &[AggregateOutcome], d: usize, n: usize, f: usize) -> &AggregateOutc
 }
 
 #[test]
+fn rotation_sweep_collapses_to_the_committed_grid() {
+    // The declaration-order fairness sweep: every config in the
+    // committed grid, re-declared at each distinct rotation (up to 4 per
+    // config — enough to cover every N in the grid without quadratic
+    // blow-up at N = 8). The N paced pairs are in-phase permutation
+    // symmetries, so the canonicalizer must collapse all rotations of a
+    // config into one class: the sweep's class count is pinned to the
+    // committed grid's size, and the reuse count — members minus
+    // classes — is what the cluster layer saves on this sweep.
+    use std::collections::HashSet;
+    let mut members = 0usize;
+    let mut classes: HashSet<String> = HashSet::new();
+    for cfg in grid() {
+        for rot in 0..cfg.flows.min(4) {
+            members += 1;
+            let canon = dsv_scenario::canonicalize(&dsv_core::aggregate::aggregate_spec(
+                &cfg.clone().with_rotation(rot),
+            ));
+            classes.insert(canon.json());
+        }
+    }
+    assert_eq!(
+        members, 110,
+        "2 depths × 5 fractions × (1 + 2 + 4 + 4) rotations"
+    );
+    assert_eq!(
+        classes.len(),
+        grid().len(),
+        "every rotation must collapse onto its unrotated config's class"
+    );
+    assert_eq!(
+        members - classes.len(),
+        70,
+        "pinned cluster reuse on this sweep"
+    );
+}
+
+#[test]
 fn single_flow_recovers_the_paper_regimes() {
     // The N = 1 rows are ordinary QBone runs (the aggregate policer
     // matches the one EF flow): starved below the encoding rate, clean
