@@ -56,7 +56,24 @@ echo "==> scenario refactor gate (spec-driven figures byte-identical, cache off)
 DSV_CACHE=off ./target/release/fig07_qbone_lost > /dev/null
 DSV_CACHE=off ./target/release/ablation_hop_jitter > /dev/null
 DSV_CACHE=off ./target/release/fig16_aggregate > /dev/null
+DSV_CACHE=off ./target/release/fig17_tcp_smoothing > /dev/null
+DSV_CACHE=off ./target/release/fig18_af_tcp > /dev/null
 git diff --exit-code -- results/
+
+echo "==> transport goldens regeneration gate (backends, shards, cluster modes)"
+# The smoothing and AF-TCP goldens must re-simulate byte-for-byte under
+# every engine configuration: both event-queue backends, the sharded
+# engine, and exact clustering vs every point simulated individually.
+regen_transport_goldens() {
+  DSV_REGEN=1 DSV_CACHE=off "$@" cargo test -q -p dsv-integration \
+    --test paper_findings_tcp_smoothing --test paper_findings_af_tcp
+  git diff --exit-code -- results/
+}
+regen_transport_goldens env DSV_QUEUE=wheel
+regen_transport_goldens env DSV_QUEUE=heap
+regen_transport_goldens env DSV_SHARDS=2
+regen_transport_goldens env DSV_CLUSTER=exact
+regen_transport_goldens env DSV_CLUSTER=off
 
 echo "==> sharded regeneration gate (DSV_SHARDS=2, both backends, cache off)"
 for backend in wheel heap; do
@@ -74,6 +91,7 @@ echo "==> cluster regeneration gate (exact mode vs clustering off, cache off)"
 for mode in exact off; do
   DSV_CLUSTER=$mode DSV_CACHE=off ./target/release/fig07_qbone_lost > /dev/null
   DSV_CLUSTER=$mode DSV_CACHE=off ./target/release/fig16_aggregate > /dev/null
+  DSV_CLUSTER=$mode DSV_CACHE=off ./target/release/fig18_af_tcp > /dev/null
   git diff --exit-code -- results/
 done
 

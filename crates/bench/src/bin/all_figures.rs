@@ -13,6 +13,8 @@ fn main() {
         ("Relative quality (vs 1.7M reference)", f::fig13_relative),
         ("Local testbed", f::fig15_local),
         ("Aggregate EF policing", f::fig16_aggregate),
+        ("TCP self-smoothing", f::fig17_tcp_smoothing),
+        ("AF rate guarantees (TCP)", f::fig18_af_tcp),
         ("Ablation: bi-modal servers", f::ablation_bimodal),
         ("Ablation: death spiral", f::ablation_death_spiral),
         ("Ablation: bucket depth", f::ablation_bucket_depth),

@@ -1,0 +1,5 @@
+//! Figure 17 (beyond the paper): bursty vs TCP vs ABR goodput, loss,
+//! and ladder behaviour across EF profiles — the §5 conjecture.
+fn main() {
+    dsv_bench::figures::fig17_tcp_smoothing();
+}

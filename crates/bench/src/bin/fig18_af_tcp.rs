@@ -1,0 +1,5 @@
+//! Figure 18 (beyond the paper): AF rate guarantees for metered TCP
+//! flows through a WRED bottleneck — the Lochin & Anelli reproduction.
+fn main() {
+    dsv_bench::figures::fig18_af_tcp();
+}

@@ -413,6 +413,199 @@ pub fn fig16_aggregate() {
     emit_json("fig16_aggregate", &all);
 }
 
+/// Figure 17 (beyond the paper): the §5 self-smoothing conjecture —
+/// bursty vs TCP vs ABR goodput and loss versus bucket depth, on the
+/// same grid the `paper_findings_tcp_smoothing` suite pins as a golden.
+pub fn fig17_tcp_smoothing() {
+    use dsv_core::smoothing::{DEPTH_10MTU, DEPTH_40MTU};
+    println!("Figure 17. Server discipline vs EF profile: goodput, loss, and the ABR ladder.\n");
+    #[derive(Serialize)]
+    struct Out {
+        server: String,
+        token_rate_bps: u64,
+        depth_bytes: u32,
+        achieved_bps: f64,
+        packet_loss: f64,
+        policer_drops: u64,
+        mean_rung: f64,
+        stall_s: f64,
+        broken: bool,
+    }
+    const ENC: u64 = 1_500_000;
+    let mut jobs = Vec::new();
+    for &server in &[
+        SmoothingServer::Bursty,
+        SmoothingServer::Tcp,
+        SmoothingServer::Abr,
+    ] {
+        for &rate in &[800_000u64, 1_650_000, 5_000_000] {
+            for &depth in &[DEPTH_2MTU, DEPTH_10MTU, DEPTH_40MTU] {
+                jobs.push(FlowJob::Smoothing(SmoothingConfig::new(
+                    ClipId2::Lost,
+                    ENC,
+                    server,
+                    EfProfile::new(rate, depth),
+                )));
+            }
+        }
+    }
+    let outs = Runner::from_env().run_flows_batch(&jobs);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for (job, out) in jobs.iter().zip(&outs) {
+        let FlowJob::Smoothing(cfg) = job else {
+            unreachable!()
+        };
+        let f = &out.per_flow[0];
+        rows.push(vec![
+            format!("{:?}", cfg.server),
+            cfg.profile.token_rate_bps.to_string(),
+            cfg.profile.bucket_depth_bytes.to_string(),
+            format!("{:.0}", f.achieved_bps),
+            format!("{:.3}", f.packet_loss),
+            f.policer_drops.to_string(),
+            format!("{:.2}", f.mean_rung),
+            format!("{:.2}", f.stall_s),
+            if f.broken { "yes" } else { "" }.to_string(),
+        ]);
+        all.push(Out {
+            server: format!("{:?}", cfg.server),
+            token_rate_bps: cfg.profile.token_rate_bps,
+            depth_bytes: cfg.profile.bucket_depth_bytes,
+            achieved_bps: f.achieved_bps,
+            packet_loss: f.packet_loss,
+            policer_drops: f.policer_drops,
+            mean_rung: f.mean_rung,
+            stall_s: f.stall_s,
+            broken: f.broken,
+        });
+    }
+    print!(
+        "{}",
+        format_table(
+            &[
+                "server",
+                "token rate",
+                "depth",
+                "goodput (bps)",
+                "pkt loss",
+                "policer drops",
+                "mean rung",
+                "stall (s)",
+                "broken"
+            ],
+            &rows
+        )
+    );
+    println!("\n(TCP self-smooths only in loss terms at the paper's shallow buckets —");
+    println!("its goodput is capped by the bucket depth, not the token rate. Deep");
+    println!("buckets invert the ranking, and the ABR ladder turns the residual");
+    println!("loss story into a rung/stall story.)");
+    emit_json("fig17_tcp_smoothing", &all);
+}
+
+/// Figure 18 (beyond the paper): the Lochin & Anelli AF reproduction —
+/// target vs achieved throughput for metered TCP flows into a WRED AF
+/// bottleneck, on the grid `paper_findings_af_tcp` pins as a golden.
+pub fn fig18_af_tcp() {
+    println!("Figure 18. AF rate guarantees for TCP: target vs achieved throughput.\n");
+    #[derive(Serialize)]
+    struct Out {
+        scenario: String,
+        meter: String,
+        provisioning: f64,
+        flow: usize,
+        rtt_extra_ms: u64,
+        target_bps: u64,
+        achieved_bps: f64,
+        ratio: f64,
+        mean_delay_ms: f64,
+    }
+    const BOTTLENECK: u64 = 6_000_000;
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
+    for &trtcm in &[false, true] {
+        for &frac in &[0.3, 0.5, 0.7, 0.85, 0.95] {
+            let per_flow = (BOTTLENECK as f64 * frac / 4.0) as u64;
+            let mut cfg = AfTcpConfig::new(vec![per_flow; 4], vec![0; 4]);
+            cfg.trtcm = trtcm;
+            jobs.push(FlowJob::AfTcp(cfg));
+            labels.push("equal".to_string());
+        }
+    }
+    jobs.push(FlowJob::AfTcp(AfTcpConfig::new(
+        vec![1_050_000; 4],
+        vec![0, 0, 40, 40],
+    )));
+    labels.push("rtt-pair".to_string());
+    jobs.push(FlowJob::AfTcp(AfTcpConfig::new(
+        vec![250_000, 500_000, 750_000, 1_350_000],
+        vec![0; 4],
+    )));
+    labels.push("hetero-low".to_string());
+    jobs.push(FlowJob::AfTcp(AfTcpConfig::new(
+        vec![500_000, 1_000_000, 1_500_000, 2_700_000],
+        vec![0; 4],
+    )));
+    labels.push("hetero-near".to_string());
+
+    let outs = Runner::from_env().run_flows_batch(&jobs);
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for ((job, label), out) in jobs.iter().zip(&labels).zip(&outs) {
+        let FlowJob::AfTcp(cfg) = job else {
+            unreachable!()
+        };
+        let meter = if cfg.trtcm { "trTCM" } else { "srTCM" };
+        for (i, f) in out.per_flow.iter().enumerate() {
+            let ratio = f.achieved_bps / f.target_bps as f64;
+            rows.push(vec![
+                label.clone(),
+                meter.to_string(),
+                format!("{:.2}", cfg.provisioning()),
+                i.to_string(),
+                cfg.rtt_extra_ms[i].to_string(),
+                f.target_bps.to_string(),
+                format!("{:.0}", f.achieved_bps),
+                format!("{ratio:.2}"),
+                format!("{:.1}", f.mean_delay_ms),
+            ]);
+            all.push(Out {
+                scenario: label.clone(),
+                meter: meter.to_string(),
+                provisioning: cfg.provisioning(),
+                flow: i,
+                rtt_extra_ms: cfg.rtt_extra_ms[i],
+                target_bps: f.target_bps,
+                achieved_bps: f.achieved_bps,
+                ratio,
+                mean_delay_ms: f.mean_delay_ms,
+            });
+        }
+    }
+    print!(
+        "{}",
+        format_table(
+            &[
+                "scenario",
+                "meter",
+                "prov",
+                "flow",
+                "rtt+ms",
+                "target (bps)",
+                "achieved (bps)",
+                "ach/tgt",
+                "delay (ms)"
+            ],
+            &rows
+        )
+    );
+    println!("\n(The committed rate is honored only while the aggregate stays well");
+    println!("below the bottleneck; near capacity every flow undershoots, long-RTT");
+    println!("flows undershoot first, and the trTCM's peak band rescues nothing.)");
+    emit_json("fig18_af_tcp", &all);
+}
+
 /// Ablation: the large-datagram servers' bi-modal behaviour (paper §4).
 pub fn ablation_bimodal() {
     #[derive(Serialize)]

@@ -24,10 +24,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{AggregateConfig, AggregateOutcome};
 use crate::experiment::{EfProfile, RunOutcome};
+use crate::flows::FlowsOutcome;
 use crate::keys::fnv1a64;
 use crate::local::LocalConfig;
 use crate::qbone::QboneConfig;
-use crate::runner::{Job, Runner};
+use crate::runner::{FlowJob, Job, Runner};
 use crate::sweep::{SweepPoint, SweepResult};
 
 /// On-disk format of a golden results file.
@@ -267,11 +268,92 @@ pub fn golden_aggregate(name: &str, cfgs: &[AggregateConfig]) -> Vec<AggregateOu
     outcomes
 }
 
+/// On-disk format of a golden transport-run file (same rules as
+/// [`GoldenFile`], per-flow outcome shape).
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenFlowsFile {
+    /// FNV-1a (hex) over the generating jobs' kinds + config JSON.
+    config_fnv: String,
+    /// Number of jobs.
+    jobs: usize,
+    /// One per-flow outcome set per job, in job order.
+    outcomes: Vec<FlowsOutcome>,
+}
+
+/// Checksum over the transport jobs that generate a golden file.
+fn flow_jobs_fnv(jobs: &[FlowJob]) -> String {
+    let mut bytes = Vec::new();
+    for job in jobs {
+        bytes.extend_from_slice(job.kind().as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(job.config_json().as_bytes());
+        bytes.push(0xff);
+    }
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+/// Golden-backed transport-level outcomes: the [`FlowJob`] analogue of
+/// [`golden_outcomes`], with the same load-else-simulate and staleness
+/// rules over `results/<name>.json`.
+///
+/// # Panics
+/// Panics on a stale or unreadable golden — regenerate deliberately with
+/// `DSV_REGEN=1`.
+pub fn golden_flows(name: &str, jobs: &[FlowJob]) -> Vec<FlowsOutcome> {
+    let path = results_dir().join(format!("{name}.json"));
+    let sum = flow_jobs_fnv(jobs);
+
+    if !regen_requested() {
+        if let Ok(text) = fs::read_to_string(&path) {
+            let file: GoldenFlowsFile = serde_json::from_str(&text).unwrap_or_else(|e| {
+                panic!(
+                    "golden {} is unreadable ({e}); regenerate with DSV_REGEN=1",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                file.config_fnv,
+                sum,
+                "stale golden {}: it was generated from different job \
+                 configurations (checksum {} on disk, {} expected). The tested \
+                 grid changed — rerun with DSV_REGEN=1 and commit the result.",
+                path.display(),
+                file.config_fnv,
+                sum
+            );
+            assert_eq!(
+                file.outcomes.len(),
+                jobs.len(),
+                "golden {}: outcome count mismatch despite matching checksum",
+                path.display()
+            );
+            return file.outcomes;
+        }
+    }
+
+    let outcomes = Runner::from_env().run_flows_batch(jobs);
+    let file = GoldenFlowsFile {
+        config_fnv: sum,
+        jobs: jobs.len(),
+        outcomes: outcomes.clone(),
+    };
+    let text = serde_json::to_string_pretty(&file).expect("golden serializes");
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, &text).expect("write golden temp file");
+    fs::rename(&tmp, &path).expect("publish golden file");
+    outcomes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::af_tcp::AfTcpConfig;
     use crate::experiment::{EfProfile, DEPTH_2MTU, DEPTH_3MTU};
     use crate::qbone::{ClipId2, QboneConfig};
+    use crate::smoothing::{SmoothingConfig, SmoothingServer};
 
     #[test]
     fn checksum_tracks_configuration() {
@@ -294,5 +376,32 @@ mod tests {
             jobs_fnv(std::slice::from_ref(&b))
         );
         assert_ne!(jobs_fnv(&[a.clone(), b.clone()]), jobs_fnv(&[b, a]));
+    }
+
+    #[test]
+    fn flow_checksum_tracks_configuration() {
+        let a = FlowJob::Smoothing(SmoothingConfig::new(
+            ClipId2::Lost,
+            1_500_000,
+            SmoothingServer::Tcp,
+            EfProfile::new(1_600_000, DEPTH_2MTU),
+        ));
+        let b = FlowJob::AfTcp(AfTcpConfig::new(vec![1_000_000; 2], vec![0, 20]));
+        let mut c = AfTcpConfig::new(vec![1_000_000; 2], vec![0, 20]);
+        c.trtcm = true;
+        let c = FlowJob::AfTcp(c);
+        assert_eq!(
+            flow_jobs_fnv(std::slice::from_ref(&a)),
+            flow_jobs_fnv(std::slice::from_ref(&a))
+        );
+        assert_ne!(
+            flow_jobs_fnv(std::slice::from_ref(&b)),
+            flow_jobs_fnv(std::slice::from_ref(&c)),
+            "the marker kind is part of the tested configuration"
+        );
+        assert_ne!(
+            flow_jobs_fnv(&[a.clone(), b.clone()]),
+            flow_jobs_fnv(&[b, a])
+        );
     }
 }

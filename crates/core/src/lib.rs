@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod af;
+pub mod af_tcp;
 pub mod aggregate;
 pub mod analysis;
 pub mod artifacts;
 pub mod auditing;
 pub mod experiment;
+pub mod flows;
 pub mod golden;
 pub mod keys;
 pub mod local;
@@ -35,11 +37,13 @@ pub mod profile;
 pub mod qbone;
 pub mod report;
 pub mod runner;
+pub mod smoothing;
 pub mod sweep;
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::af::{run_af, AfConfig};
+    pub use crate::af_tcp::{run_af_tcp, AfTcpConfig};
     pub use crate::aggregate::{run_aggregate, AggregateConfig, AggregateOutcome};
     pub use crate::analysis::{
         crossing_rate, cutoff_rate, max_quality_per_loss_slope, mostly_monotone_decreasing,
@@ -49,14 +53,16 @@ pub mod prelude {
         encoded_features, received_features, received_features_from, run_horizon, score_run,
         score_run_shared, EfProfile, RunOutcome, DEPTH_2MTU, DEPTH_3MTU,
     };
+    pub use crate::flows::{FlowOutcome, FlowsOutcome};
     pub use crate::golden::{
-        golden_aggregate, golden_local_sweep, golden_outcomes, golden_qbone_sweep,
+        golden_aggregate, golden_flows, golden_local_sweep, golden_outcomes, golden_qbone_sweep,
     };
     pub use crate::local::{run_local, run_local_detailed, LocalConfig, LocalTransport};
     pub use crate::profile::ProfileSnapshot;
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};
     pub use crate::report::{format_sweep, format_table, table4_summary};
-    pub use crate::runner::{ClusterMode, ClusterPoint, Job, PointSource, Runner};
+    pub use crate::runner::{ClusterMode, ClusterPoint, FlowJob, Job, PointSource, Runner};
+    pub use crate::smoothing::{run_smoothing, SmoothingConfig, SmoothingServer};
     pub use crate::sweep::{default_rate_grid, local_sweep, qbone_sweep, SweepPoint, SweepResult};
     pub use dsv_media::scene::ClipId;
 }

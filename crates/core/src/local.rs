@@ -156,12 +156,11 @@ pub fn local_spec(cfg: &LocalConfig) -> ScenarioSpec {
                 vec![media]
             },
         },
-        LocalTransport::Tcp => AppSpec::TcpServer {
-            client: "client".to_string(),
-            flow: MEDIA_FLOW.0,
-            dscp: DscpSpec::BestEffort,
-            media,
-        },
+        // The shared TCP-server fragment (same constructor as the
+        // smoothing sweep, so the pacing lead cannot drift between them).
+        LocalTransport::Tcp => {
+            AppSpec::tcp_server("client", MEDIA_FLOW.0, DscpSpec::BestEffort, media)
+        }
     };
     spec.nodes.push(NodeSpec::host("wmt-server", server_app));
 

@@ -63,15 +63,18 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::af::{af_spec, run_af, AfConfig};
+use crate::af_tcp::{af_tcp_spec, run_af_tcp, AfTcpConfig};
 use crate::aggregate::{
     aggregate_spec, from_canonical_order, media_flow_ranks, run_aggregate, to_canonical_order,
     AggregateConfig, AggregateOutcome,
 };
 use crate::experiment::{EfProfile, RunOutcome};
+use crate::flows::{flows_from_canonical_order, flows_to_canonical_order, FlowsOutcome};
 use crate::keys;
 use crate::local::{local_spec, run_local, LocalConfig};
 use crate::profile;
 use crate::qbone::{qbone_spec, run_qbone, QboneConfig};
+use crate::smoothing::{run_smoothing, smoothing_spec, SmoothingConfig};
 use crate::sweep::{SweepPoint, SweepResult};
 use dsv_scenario::{canonicalize, ActionSpec, ScenarioSpec};
 
@@ -156,6 +159,69 @@ impl Job {
             Job::Qbone(cfg) => run_qbone(cfg),
             Job::Local(cfg) => run_local(cfg),
             Job::Af(cfg) => run_af(cfg),
+        }
+    }
+}
+
+/// One unit of transport-level grid work: an experiment reporting
+/// per-flow [`FlowsOutcome`]s instead of a VQM-scored [`RunOutcome`].
+/// Runs through the same thread pool, persistent cache and exact-cluster
+/// pre-pass as [`Job`] grids.
+#[derive(Debug, Clone)]
+pub enum FlowJob {
+    /// A TCP-smoothing run on the QBone path (one media flow).
+    Smoothing(SmoothingConfig),
+    /// An AF-TCP rate-guarantee run (N bulk flows).
+    AfTcp(AfTcpConfig),
+}
+
+impl FlowJob {
+    /// Short tag naming the experiment; part of the cache key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowJob::Smoothing(_) => "smoothing",
+            FlowJob::AfTcp(_) => "af_tcp",
+        }
+    }
+
+    /// Canonical JSON of the configuration (the golden checksums hash
+    /// this; see [`crate::golden::golden_flows`]).
+    pub(crate) fn config_json(&self) -> String {
+        match self {
+            FlowJob::Smoothing(cfg) => serde_json::to_string(cfg),
+            FlowJob::AfTcp(cfg) => serde_json::to_string(cfg),
+        }
+        .expect("config serializes")
+    }
+
+    /// The job's compiled scenario spec plus the scoring parameters
+    /// living outside the topology (see [`Job::spec_scoring`]).
+    pub(crate) fn spec_scoring(&self) -> (ScenarioSpec, Value) {
+        match self {
+            FlowJob::Smoothing(cfg) => (
+                smoothing_spec(cfg),
+                Value::Object(vec![
+                    ("clip".to_string(), cfg.clip.to_value()),
+                    ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
+                ]),
+            ),
+            FlowJob::AfTcp(cfg) => (af_tcp_spec(cfg), Value::Object(Vec::new())),
+        }
+    }
+
+    /// How many per-flow outcomes this job reports.
+    fn flows(&self) -> u32 {
+        match self {
+            FlowJob::Smoothing(_) => 1,
+            FlowJob::AfTcp(cfg) => cfg.flows(),
+        }
+    }
+
+    /// Run the experiment this job describes.
+    fn execute(&self) -> FlowsOutcome {
+        match self {
+            FlowJob::Smoothing(cfg) => run_smoothing(cfg),
+            FlowJob::AfTcp(cfg) => run_af_tcp(cfg),
         }
     }
 }
@@ -285,6 +351,16 @@ struct AggregateCacheEntry {
     kind: String,
     config: String,
     outcome: AggregateOutcome,
+}
+
+/// A persisted transport-run cache record (same guard discipline as
+/// [`AggregateCacheEntry`]; per-flow outcomes stored in canonical flow
+/// order so any member of the symmetry class can load the entry).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FlowsCacheEntry {
+    kind: String,
+    config: String,
+    outcome: FlowsOutcome,
 }
 
 /// Live progress across worker threads: points done, throughput, ETA and
@@ -651,6 +727,108 @@ impl Runner {
         out
     }
 
+    /// Run a batch of transport-level jobs, outcomes in input order,
+    /// through the same thread pool, persistent cache and cluster
+    /// pre-pass as [`run`].
+    ///
+    /// [`run`]: Runner::run
+    pub fn run_flows_batch(&self, jobs: &[FlowJob]) -> Vec<FlowsOutcome> {
+        self.run_flows_clustered(jobs)
+            .into_iter()
+            .map(|p| p.outcome)
+            .collect()
+    }
+
+    /// [`Runner::run_flows_batch`] with provenance. Approx mode falls
+    /// back to exact transplanting (rate interpolation is certified only
+    /// for the single-stream VQM sweeps).
+    pub fn run_flows_clustered(&self, jobs: &[FlowJob]) -> Vec<ClusterPoint<FlowsOutcome>> {
+        let counts = |o: &FlowsOutcome| {
+            (
+                o.per_flow.iter().map(|f| f.policer_drops).sum(),
+                o.per_flow.iter().map(|f| f.queue_drops).sum(),
+                0,
+            )
+        };
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.cluster == ClusterMode::Off {
+            return self.run_direct(n, |i| self.run_one_flows(&jobs[i]), counts);
+        }
+
+        // Exact classes over the canonical address, with each job's
+        // flow-rank map retained to bridge per-flow outcomes between
+        // members of one class (the aggregate path's exact discipline).
+        let canons: Vec<_> = jobs
+            .iter()
+            .map(|j| canonicalize(&j.spec_scoring().0))
+            .collect();
+        let ranks: Vec<Vec<usize>> = canons
+            .iter()
+            .zip(jobs)
+            .map(|(canon, job)| media_flow_ranks(canon, job.flows()))
+            .collect();
+        let keys: Vec<String> = canons
+            .iter()
+            .zip(jobs)
+            .map(|(canon, job)| {
+                format!(
+                    "{}\0{}",
+                    job.kind(),
+                    keys::cache_address(canon.spec.to_value(), job.spec_scoring().1)
+                )
+            })
+            .collect();
+        let rep_of = first_seen(&keys);
+        let reps: Vec<usize> = (0..n).filter(|&i| rep_of[i] == i).collect();
+        let mut slot_of = vec![usize::MAX; n];
+        for (slot, &i) in reps.iter().enumerate() {
+            slot_of[i] = slot;
+        }
+
+        let stages_before = profile::snapshot();
+        let progress = Progress::new(n, reps.len(), self.progress);
+        let rep_results = self.fan_out(
+            reps.len(),
+            &progress,
+            |slot| self.run_one_flows(&jobs[reps[slot]]),
+            counts,
+        );
+        let out = (0..n)
+            .map(|i| {
+                let rep = rep_of[i];
+                let (outcome, hit) = &rep_results[slot_of[rep]];
+                if rep == i {
+                    ClusterPoint {
+                        outcome: outcome.clone(),
+                        source: if *hit {
+                            PointSource::Cached
+                        } else {
+                            PointSource::Simulated
+                        },
+                    }
+                } else {
+                    let transplanted = flows_from_canonical_order(
+                        &flows_to_canonical_order(outcome, &ranks[rep]),
+                        &ranks[i],
+                    );
+                    progress.record_reused(counts(&transplanted));
+                    ClusterPoint {
+                        outcome: transplanted,
+                        source: PointSource::Reused {
+                            representative: rep,
+                        },
+                    }
+                }
+            })
+            .collect();
+        progress.finish();
+        profile::report(&format!("batch of {n}"), &stages_before);
+        out
+    }
+
     /// Cluster-free execution: every point produced directly (simulated
     /// or cache-served), fanned over the thread pool.
     fn run_direct<O: Send + Sync + Clone>(
@@ -947,6 +1125,36 @@ impl Runner {
         (outcome, false)
     }
 
+    /// Run one transport-level job, consulting the cache. Entries are
+    /// addressed by the canonical spec + scoring and stored in canonical
+    /// flow order (the aggregate path's discipline).
+    fn run_one_flows(&self, job: &FlowJob) -> (FlowsOutcome, bool) {
+        let Some(dir) = &self.cache_dir else {
+            return (job.execute(), false);
+        };
+        let (spec, scoring) = job.spec_scoring();
+        let canon = canonicalize(&spec);
+        let rank = media_flow_ranks(&canon, job.flows());
+        let config = keys::cache_address(canon.spec.to_value(), scoring);
+        let path = keys::cache_path(dir, job.kind(), &config);
+        if let Some(canon_out) = load_cached_flows(&path, job.kind(), &config) {
+            if canon_out.per_flow.len() == job.flows() as usize {
+                return (flows_from_canonical_order(&canon_out, &rank), true);
+            }
+        }
+        let outcome = job.execute();
+        store_cached_flows(
+            dir,
+            &path,
+            &FlowsCacheEntry {
+                kind: job.kind().to_string(),
+                config,
+                outcome: flows_to_canonical_order(&outcome, &rank),
+            },
+        );
+        (outcome, false)
+    }
+
     /// Run a QBone figure's grid (`rates × depths`) through this runner.
     pub fn qbone_sweep(
         &self,
@@ -1208,6 +1416,31 @@ fn store_cached(dir: &Path, path: &Path, entry: &CacheEntry) {
     let json = serde_json::to_string_pretty(entry).expect("cache entry serializes");
     let tmp = dir.join(format!(
         ".tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, path).is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+/// Load a transport-run cache entry if it addresses exactly this config.
+fn load_cached_flows(path: &Path, kind: &str, config: &str) -> Option<FlowsOutcome> {
+    retry_torn_read(path, |text| {
+        let entry: FlowsCacheEntry = serde_json::from_str(text).ok()?;
+        (entry.kind == kind && entry.config == config).then_some(entry.outcome)
+    })
+}
+
+/// Persist a transport-run cache entry atomically, best-effort.
+fn store_cached_flows(dir: &Path, path: &Path, entry: &FlowsCacheEntry) {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let json = serde_json::to_string_pretty(entry).expect("cache entry serializes");
+    let tmp = dir.join(format!(
+        ".tmp-flows-{}-{}",
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));

@@ -12,7 +12,7 @@ use dsv_net::packet::{DropReason, Dscp, Packet};
 use dsv_sim::SimTime;
 
 use crate::classifier::MatchRule;
-use crate::meter::{Color, SrTcm};
+use crate::meter::{Color, SrTcm, TrTcm};
 use crate::policer::{Policer, PolicerVerdict};
 use crate::shaper::{Shaper, ShaperResult};
 
@@ -31,6 +31,15 @@ pub enum PolicyAction<P> {
     MeterAf {
         /// The single-rate three-color meter.
         meter: SrTcm,
+        /// AF class 1..=4.
+        class: u8,
+    },
+    /// AF conditioning with a two-rate meter (RFC 2698): green below the
+    /// committed rate, yellow between committed and peak, red above peak.
+    /// Like [`PolicyAction::MeterAf`] it only marks; WRED sheds.
+    MeterTrtcm {
+        /// The two-rate three-color meter.
+        meter: TrTcm,
         /// AF class 1..=4.
         class: u8,
     },
@@ -112,6 +121,16 @@ impl<P> Conditioner<P> for PolicyTable<P> {
                     pkt.dscp = Dscp::af(*class, precedence);
                     ConditionOutcome::Pass(pkt)
                 }
+                PolicyAction::MeterTrtcm { meter, class } => {
+                    let mut pkt = pkt;
+                    let precedence = match meter.meter(now, pkt.size) {
+                        Color::Green => 1,
+                        Color::Yellow => 2,
+                        Color::Red => 3,
+                    };
+                    pkt.dscp = Dscp::af(*class, precedence);
+                    ConditionOutcome::Pass(pkt)
+                }
                 PolicyAction::Police(p) => match p.police(now, pkt) {
                     PolicerVerdict::Pass(pkt) => ConditionOutcome::Pass(pkt),
                     PolicerVerdict::Drop(pkt) => {
@@ -148,6 +167,15 @@ impl<P> Conditioner<P> for PolicyTable<P> {
                     QuickVerdict::Pass
                 }
                 PolicyAction::MeterAf { meter, class } => {
+                    let precedence = match meter.meter(now, pkt.size) {
+                        Color::Green => 1,
+                        Color::Yellow => 2,
+                        Color::Red => 3,
+                    };
+                    pkt.dscp = Dscp::af(*class, precedence);
+                    QuickVerdict::Pass
+                }
+                PolicyAction::MeterTrtcm { meter, class } => {
                     let precedence = match meter.meter(now, pkt.size) {
                         Color::Green => 1,
                         Color::Yellow => 2,
@@ -313,6 +341,29 @@ mod tests {
         assert_eq!(color_of(&mut t, 1), Dscp::af(2, 1)); // green
         assert_eq!(color_of(&mut t, 2), Dscp::af(2, 2)); // yellow
         assert_eq!(color_of(&mut t, 3), Dscp::af(2, 3)); // red: never drop
+    }
+
+    #[test]
+    fn meter_trtcm_colors_by_two_rates() {
+        use crate::meter::TrTcm;
+        // Peak bucket holds 2 packets, committed bucket 1: the first packet
+        // is green, the second only passes the peak test (yellow), and the
+        // third exceeds both rates (red).
+        let mut t: PolicyTable<()> = PolicyTable::new().with(
+            MatchRule::ANY,
+            PolicyAction::MeterTrtcm {
+                meter: TrTcm::new(2_000_000, 3000, 1_000_000, 1500),
+                class: 3,
+            },
+        );
+        let color_of =
+            |t: &mut PolicyTable<()>, id: u64| match t.submit(SimTime::ZERO, pkt(id, 1, 1500)) {
+                ConditionOutcome::Pass(p) => p.dscp,
+                other => panic!("{other:?}"),
+            };
+        assert_eq!(color_of(&mut t, 1), Dscp::af(3, 1)); // green
+        assert_eq!(color_of(&mut t, 2), Dscp::af(3, 2)); // yellow
+        assert_eq!(color_of(&mut t, 3), Dscp::af(3, 3)); // red: never drop
     }
 
     #[test]

@@ -122,11 +122,19 @@ fn canon_app(app: &AppSpec, r: &mut Relabel) -> AppSpec {
         | AppSpec::BurstyServer { client, flow, .. }
         | AppSpec::MultiRatePacedServer { client, flow, .. }
         | AppSpec::AdaptiveServer { client, flow, .. }
-        | AppSpec::TcpServer { client, flow, .. } => {
+        | AppSpec::TcpServer { client, flow, .. }
+        | AppSpec::AbrServer { client, flow, .. }
+        | AppSpec::BulkTcpSender { client, flow, .. } => {
             *client = r.node(client);
             *flow = r.flow(*flow);
         }
         AppSpec::StreamClient {
+            server, up_flow, ..
+        }
+        | AppSpec::AbrClient {
+            server, up_flow, ..
+        }
+        | AppSpec::BulkTcpSink {
             server, up_flow, ..
         } => {
             *server = r.node(server);

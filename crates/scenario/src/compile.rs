@@ -19,7 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use dsv_diffserv::classifier::MatchRule;
-use dsv_diffserv::meter::SrTcm;
+use dsv_diffserv::meter::{SrTcm, TrTcm};
 use dsv_diffserv::policer::{ExceedAction, Policer};
 use dsv_diffserv::policy::{PolicyAction, PolicyTable};
 use dsv_diffserv::shaper::Shaper;
@@ -34,6 +34,8 @@ use dsv_net::qdisc::{DropTailQueue, Qdisc, QueueLimits, StrictPriorityQueue};
 use dsv_net::traffic::{CountingSink, OnOffSource};
 use dsv_net::wred::WredQueue;
 use dsv_sim::{SimDuration, SimRng, SimTime};
+use dsv_stream::abr::{AbrClient, AbrClientConfig, AbrPolicy, AbrServer, AbrServerConfig};
+use dsv_stream::bulk::{BulkTcpConfig, BulkTcpSender, BulkTcpSink};
 use dsv_stream::client::{ClientConfig, ClientMode, StreamClient};
 use dsv_stream::payload::StreamPayload;
 use dsv_stream::playback::PlaybackConfig;
@@ -105,6 +107,10 @@ pub struct CompiledScenario {
     pub clients: Vec<(String, Handle<StreamClient>)>,
     /// Adaptive servers, by node name, in creation order.
     pub adaptives: Vec<(String, Handle<AdaptiveServer>)>,
+    /// ABR clients, by node name, in creation order.
+    pub abr_clients: Vec<(String, Handle<AbrClient>)>,
+    /// Bulk TCP sinks, by node name, in creation order.
+    pub bulk_sinks: Vec<(String, Handle<BulkTcpSink>)>,
     /// Id-recording sinks, by node name, in creation order.
     pub id_sinks: Vec<(String, Handle<IdSink>)>,
     /// Audit conformance bounds, resolved to node ids.
@@ -191,6 +197,8 @@ struct AppBuilder<'a> {
     store: Option<&'a dyn ClipStore>,
     clients: Vec<(String, Handle<StreamClient>)>,
     adaptives: Vec<(String, Handle<AdaptiveServer>)>,
+    abr_clients: Vec<(String, Handle<AbrClient>)>,
+    bulk_sinks: Vec<(String, Handle<BulkTcpSink>)>,
     id_sinks: Vec<(String, Handle<IdSink>)>,
 }
 
@@ -295,6 +303,55 @@ impl AppBuilder<'_> {
                     TcpServerConfig::new(ids.get(client)?, FlowId(*flow), dscp.to_dscp()),
                     &clip,
                 ))
+            }
+            AppSpec::AbrServer {
+                client,
+                flow,
+                dscp,
+                rungs_bps,
+                segment_us,
+            } => Box::new(AbrServer::new(AbrServerConfig {
+                client: ids.get(client)?,
+                flow: FlowId(*flow),
+                dscp: dscp.to_dscp(),
+                rungs: rungs_bps.clone(),
+                segment_us: *segment_us,
+            })),
+            AppSpec::AbrClient {
+                server,
+                up_flow,
+                rungs_bps,
+                step_us,
+                segment_us,
+                segments,
+                max_buffer_us,
+            } => {
+                let (h, app) = Shared::new(AbrClient::new(AbrClientConfig {
+                    server: ids.get(server)?,
+                    up_flow: FlowId(*up_flow),
+                    policy: AbrPolicy::new(rungs_bps.clone(), *step_us),
+                    segment_us: *segment_us,
+                    segments: *segments,
+                    max_buffer_us: *max_buffer_us,
+                }));
+                self.abr_clients.push((name.to_string(), h));
+                Box::new(app)
+            }
+            AppSpec::BulkTcpSender {
+                client,
+                flow,
+                dscp,
+                total_bytes,
+            } => Box::new(BulkTcpSender::new(BulkTcpConfig {
+                client: ids.get(client)?,
+                flow: FlowId(*flow),
+                dscp: dscp.to_dscp(),
+                total_bytes: *total_bytes,
+            })),
+            AppSpec::BulkTcpSink { server, up_flow } => {
+                let (h, app) = Shared::new(BulkTcpSink::new(ids.get(server)?, FlowId(*up_flow)));
+                self.bulk_sinks.push((name.to_string(), h));
+                Box::new(app)
             }
             AppSpec::StreamClient {
                 server,
@@ -405,6 +462,16 @@ fn build_action(a: &ActionSpec) -> PolicyAction<StreamPayload> {
             meter: SrTcm::new(*cir_bps, *cbs_bytes, *ebs_bytes),
             class: *class,
         },
+        ActionSpec::MeterTrtcm {
+            pir_bps,
+            pbs_bytes,
+            cir_bps,
+            cbs_bytes,
+            class,
+        } => PolicyAction::MeterTrtcm {
+            meter: TrTcm::new(*pir_bps, *pbs_bytes, *cir_bps, *cbs_bytes),
+            class: *class,
+        },
         ActionSpec::Mark { dscp } => PolicyAction::Mark(dscp.to_dscp()),
         ActionSpec::Pass => PolicyAction::Pass,
     }
@@ -426,6 +493,8 @@ pub fn compile(
         store: opts.store,
         clients: Vec::new(),
         adaptives: Vec::new(),
+        abr_clients: Vec::new(),
+        bulk_sinks: Vec::new(),
         id_sinks: Vec::new(),
     };
 
@@ -509,6 +578,8 @@ pub fn compile(
         ids: ids_owned,
         clients: apps.clients,
         adaptives: apps.adaptives,
+        abr_clients: apps.abr_clients,
+        bulk_sinks: apps.bulk_sinks,
         id_sinks: apps.id_sinks,
         bounds,
         horizon: spec.horizon_ns.map(SimDuration::from_nanos),

@@ -178,6 +178,58 @@ pub enum AppSpec {
         /// What it streams.
         media: MediaRef,
     },
+    /// The buffer-driven ABR origin server (serves whatever ladder rung
+    /// each segment request names, over one mini-TCP stream).
+    AbrServer {
+        /// Client node name.
+        client: String,
+        /// Media flow id.
+        flow: u32,
+        /// DSCP the server marks outgoing media with.
+        dscp: DscpSpec,
+        /// Ladder of encoding rates, ascending, bps.
+        rungs_bps: Vec<u64>,
+        /// Segment duration, µs.
+        segment_us: u64,
+    },
+    /// The buffer-driven ABR client: fetches segments over mini-TCP,
+    /// choosing the ladder rung from buffer occupancy and measured
+    /// throughput.
+    AbrClient {
+        /// Server node name.
+        server: String,
+        /// Flow id of client→server traffic (requests and ACKs).
+        up_flow: u32,
+        /// Ladder of encoding rates, ascending, bps (must match the
+        /// server's).
+        rungs_bps: Vec<u64>,
+        /// Buffered µs required per ladder step.
+        step_us: u64,
+        /// Segment duration, µs.
+        segment_us: u64,
+        /// Segments in the session.
+        segments: u32,
+        /// Buffer high-water mark, µs.
+        max_buffer_us: u64,
+    },
+    /// A greedy bulk TCP sender (the AF throughput-guarantee flows).
+    BulkTcpSender {
+        /// Sink node name.
+        client: String,
+        /// Flow id of the data segments.
+        flow: u32,
+        /// DSCP pre-marking of data segments.
+        dscp: DscpSpec,
+        /// Application bytes to transfer.
+        total_bytes: u64,
+    },
+    /// The ACKing sink of a bulk TCP transfer.
+    BulkTcpSink {
+        /// Sender node name.
+        server: String,
+        /// Flow id of the ACK traffic.
+        up_flow: u32,
+    },
     /// The streaming client / playback model.
     StreamClient {
         /// Server node name.
@@ -231,6 +283,21 @@ pub enum AppSpec {
     },
     /// A sink recording delivered packet ids in arrival order.
     IdSink,
+}
+
+impl AppSpec {
+    /// The one TCP streaming-server fragment every testbed shares: the
+    /// figure builders and the smoothing sweep construct their server
+    /// through this, so the configuration (and the pacing lead baked into
+    /// the compiled `TcpServerConfig`) cannot drift between them.
+    pub fn tcp_server(client: &str, flow: u32, dscp: DscpSpec, media: MediaRef) -> AppSpec {
+        AppSpec::TcpServer {
+            client: client.to_string(),
+            flow,
+            dscp,
+            media,
+        }
+    }
 }
 
 fn obj(kind: &str, fields: Vec<(String, Value)>) -> Value {
@@ -319,6 +386,60 @@ impl Serialize for AppSpec {
                     f("dscp", dscp),
                     f("media", media),
                 ],
+            ),
+            AppSpec::AbrServer {
+                client,
+                flow,
+                dscp,
+                rungs_bps,
+                segment_us,
+            } => obj(
+                "abr_server",
+                vec![
+                    f("client", client),
+                    f("flow", flow),
+                    f("dscp", dscp),
+                    f("rungs_bps", rungs_bps),
+                    f("segment_us", segment_us),
+                ],
+            ),
+            AppSpec::AbrClient {
+                server,
+                up_flow,
+                rungs_bps,
+                step_us,
+                segment_us,
+                segments,
+                max_buffer_us,
+            } => obj(
+                "abr_client",
+                vec![
+                    f("server", server),
+                    f("up_flow", up_flow),
+                    f("rungs_bps", rungs_bps),
+                    f("step_us", step_us),
+                    f("segment_us", segment_us),
+                    f("segments", segments),
+                    f("max_buffer_us", max_buffer_us),
+                ],
+            ),
+            AppSpec::BulkTcpSender {
+                client,
+                flow,
+                dscp,
+                total_bytes,
+            } => obj(
+                "bulk_tcp_sender",
+                vec![
+                    f("client", client),
+                    f("flow", flow),
+                    f("dscp", dscp),
+                    f("total_bytes", total_bytes),
+                ],
+            ),
+            AppSpec::BulkTcpSink { server, up_flow } => obj(
+                "bulk_tcp_sink",
+                vec![f("server", server), f("up_flow", up_flow)],
             ),
             AppSpec::StreamClient {
                 server,
@@ -417,6 +538,32 @@ impl Deserialize for AppSpec {
                 flow: de_field(v, "flow")?,
                 dscp: de_field(v, "dscp")?,
                 media: de_field(v, "media")?,
+            }),
+            "abr_server" => Ok(AppSpec::AbrServer {
+                client: de_field(v, "client")?,
+                flow: de_field(v, "flow")?,
+                dscp: de_field(v, "dscp")?,
+                rungs_bps: de_field(v, "rungs_bps")?,
+                segment_us: de_field(v, "segment_us")?,
+            }),
+            "abr_client" => Ok(AppSpec::AbrClient {
+                server: de_field(v, "server")?,
+                up_flow: de_field(v, "up_flow")?,
+                rungs_bps: de_field(v, "rungs_bps")?,
+                step_us: de_field(v, "step_us")?,
+                segment_us: de_field(v, "segment_us")?,
+                segments: de_field(v, "segments")?,
+                max_buffer_us: de_field(v, "max_buffer_us")?,
+            }),
+            "bulk_tcp_sender" => Ok(AppSpec::BulkTcpSender {
+                client: de_field(v, "client")?,
+                flow: de_field(v, "flow")?,
+                dscp: de_field(v, "dscp")?,
+                total_bytes: de_field(v, "total_bytes")?,
+            }),
+            "bulk_tcp_sink" => Ok(AppSpec::BulkTcpSink {
+                server: de_field(v, "server")?,
+                up_flow: de_field(v, "up_flow")?,
             }),
             "stream_client" => Ok(AppSpec::StreamClient {
                 server: de_field(v, "server")?,
@@ -735,6 +882,19 @@ pub enum ActionSpec {
         /// AF class (1–4).
         class: u8,
     },
+    /// trTCM-meter (two-rate, RFC 2698) into an AF class.
+    MeterTrtcm {
+        /// Peak information rate, bps.
+        pir_bps: u64,
+        /// Peak burst size, bytes.
+        pbs_bytes: u32,
+        /// Committed information rate, bps.
+        cir_bps: u64,
+        /// Committed burst size, bytes.
+        cbs_bytes: u32,
+        /// AF class (1–4).
+        class: u8,
+    },
     /// Set the DSCP.
     Mark {
         /// The new marking.
@@ -785,6 +945,22 @@ impl Serialize for ActionSpec {
                     f("class", class),
                 ],
             ),
+            ActionSpec::MeterTrtcm {
+                pir_bps,
+                pbs_bytes,
+                cir_bps,
+                cbs_bytes,
+                class,
+            } => obj(
+                "meter_trtcm",
+                vec![
+                    f("pir_bps", pir_bps),
+                    f("pbs_bytes", pbs_bytes),
+                    f("cir_bps", cir_bps),
+                    f("cbs_bytes", cbs_bytes),
+                    f("class", class),
+                ],
+            ),
             ActionSpec::Mark { dscp } => obj("mark", vec![f("dscp", dscp)]),
             ActionSpec::Pass => obj("pass", vec![]),
         }
@@ -809,6 +985,13 @@ impl Deserialize for ActionSpec {
                 cir_bps: de_field(v, "cir_bps")?,
                 cbs_bytes: de_field(v, "cbs_bytes")?,
                 ebs_bytes: de_field(v, "ebs_bytes")?,
+                class: de_field(v, "class")?,
+            }),
+            "meter_trtcm" => Ok(ActionSpec::MeterTrtcm {
+                pir_bps: de_field(v, "pir_bps")?,
+                pbs_bytes: de_field(v, "pbs_bytes")?,
+                cir_bps: de_field(v, "cir_bps")?,
+                cbs_bytes: de_field(v, "cbs_bytes")?,
                 class: de_field(v, "class")?,
             }),
             "mark" => Ok(ActionSpec::Mark {
@@ -1066,6 +1249,32 @@ mod tests {
                 dscp: DscpSpec::BestEffort,
                 media,
             },
+            AppSpec::AbrServer {
+                client: "c".into(),
+                flow: 1,
+                dscp: DscpSpec::BestEffort,
+                rungs_bps: vec![300_000, 700_000, 1_500_000],
+                segment_us: 2_000_000,
+            },
+            AppSpec::AbrClient {
+                server: "s".into(),
+                up_flow: 2,
+                rungs_bps: vec![300_000, 700_000, 1_500_000],
+                step_us: 4_000_000,
+                segment_us: 2_000_000,
+                segments: 30,
+                max_buffer_us: 16_000_000,
+            },
+            AppSpec::BulkTcpSender {
+                client: "c".into(),
+                flow: 1,
+                dscp: DscpSpec::BestEffort,
+                total_bytes: 10_000_000,
+            },
+            AppSpec::BulkTcpSink {
+                server: "s".into(),
+                up_flow: 2,
+            },
             AppSpec::StreamClient {
                 server: "s".into(),
                 up_flow: 2,
@@ -1119,6 +1328,13 @@ mod tests {
                 cbs_bytes: 2,
                 ebs_bytes: 3,
                 class: 1,
+            },
+            ActionSpec::MeterTrtcm {
+                pir_bps: 4,
+                pbs_bytes: 3,
+                cir_bps: 2,
+                cbs_bytes: 1,
+                class: 2,
             },
             ActionSpec::Mark {
                 dscp: DscpSpec::BestEffort,

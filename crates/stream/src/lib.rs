@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abr;
+pub mod bulk;
 pub mod client;
 pub mod packetize;
 pub mod payload;
@@ -28,6 +30,11 @@ pub mod tcp;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::abr::{
+        segment_bytes, AbrBuffer, AbrClient, AbrClientConfig, AbrPolicy, AbrReport, AbrServer,
+        AbrServerConfig,
+    };
+    pub use crate::bulk::{BulkTcpConfig, BulkTcpSender, BulkTcpSink};
     pub use crate::client::{ClientConfig, ClientMode, ClientReport, StreamClient};
     pub use crate::packetize::{
         byte_ranges, chunks_for, frame_chunks, frame_datagrams, ChunkSpec, LARGE_DATAGRAM_BYTES,
@@ -37,7 +44,7 @@ pub mod prelude {
     pub use crate::server::adaptive::{AdaptiveConfig, AdaptiveServer};
     pub use crate::server::bursty::{BurstyConfig, BurstyServer};
     pub use crate::server::paced::{PacedConfig, PacedServer};
-    pub use crate::server::tcp_server::{TcpServerConfig, TcpStreamServer};
+    pub use crate::server::tcp_server::{TcpServerConfig, TcpStreamServer, TCP_READ_AHEAD};
     pub use crate::server::Pacer;
     pub use crate::tcp::{TcpReceiver, TcpSender, MSS};
 }

@@ -92,6 +92,13 @@ pub enum ControlMsg {
     /// Client tears the session down (e.g. gives up on an unusable
     /// connection, as the paper's clients eventually did).
     Teardown,
+    /// ABR client asks for the next segment at a given ladder rung.
+    SegmentRequest {
+        /// Segment ordinal (0-based).
+        segment: u32,
+        /// Ladder rung index the client selected.
+        rung: u8,
+    },
 }
 
 /// Wire size of a pure control packet.

@@ -16,6 +16,12 @@ use crate::payload::{ControlMsg, StreamPayload, TcpSegment, CONTROL_PACKET_BYTES
 use crate::server::{read_time, TOK_FRAME, TOK_RTO};
 use crate::tcp::{SenderActions, TcpSender};
 
+/// The standard pacing lead every TCP streaming configuration shares: how
+/// far ahead of the playout schedule the server reads the file into the
+/// socket. One definition, so the figure builders and the smoothing sweep
+/// cannot drift apart.
+pub const TCP_READ_AHEAD: SimDuration = SimDuration::from_secs(15);
+
 /// TCP server configuration.
 #[derive(Debug, Clone)]
 pub struct TcpServerConfig {
@@ -36,14 +42,14 @@ pub struct TcpServerConfig {
 }
 
 impl TcpServerConfig {
-    /// Standard configuration with a 15-second write-ahead.
+    /// Standard configuration with the [`TCP_READ_AHEAD`] write-ahead.
     pub fn new(client: NodeId, flow: FlowId, dscp: Dscp) -> TcpServerConfig {
         TcpServerConfig {
             client,
             flow,
             dscp,
             wait_for_play: true,
-            read_ahead: SimDuration::from_secs(15),
+            read_ahead: TCP_READ_AHEAD,
         }
     }
 }

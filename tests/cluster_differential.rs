@@ -150,6 +150,47 @@ fn exact_mode_is_byte_identical_on_rotated_aggregates() {
 }
 
 #[test]
+fn exact_mode_is_byte_identical_on_rotated_af_tcp_declarations() {
+    // The transport-level testbed added for the AF second act: a
+    // heterogeneous-target AF-TCP scenario near capacity, declared in
+    // three rotations, mixed with a genuinely different RTT layout so
+    // the batch has two classes. The rotations must collapse onto the
+    // unrotated representative and the rank-routed per-flow transplant
+    // must byte-match the unclustered serial run.
+    use dsv_core::prelude::{AfTcpConfig, FlowJob};
+    let hetero = AfTcpConfig::new(vec![500_000, 1_000_000, 1_500_000, 2_700_000], vec![0; 4]);
+    let jobs = [
+        FlowJob::AfTcp(hetero.clone()),
+        FlowJob::AfTcp(AfTcpConfig::new(vec![1_050_000; 4], vec![0, 0, 40, 40])),
+        FlowJob::AfTcp(hetero.clone().with_rotation(1)),
+        FlowJob::AfTcp(hetero.clone().with_rotation(3)),
+    ];
+    let full = Runner::serial().run_flows_batch(&jobs);
+    let clustered = Runner::serial()
+        .with_cluster(ClusterMode::Exact)
+        .run_flows_clustered(&jobs);
+    assert!(matches!(clustered[0].source, PointSource::Simulated));
+    assert!(matches!(clustered[1].source, PointSource::Simulated));
+    for p in &clustered[2..] {
+        assert!(
+            matches!(p.source, PointSource::Reused { representative: 0 }),
+            "rotations must reuse the unrotated representative: {:?}",
+            p.source
+        );
+    }
+    let clustered_outs: Vec<_> = clustered.into_iter().map(|p| p.outcome).collect();
+    assert_eq!(outcomes_json(&full), outcomes_json(&clustered_outs));
+    // Non-vacuity: the heterogeneous targets make the per-position
+    // outcomes genuinely distinct, so the rotated transplant is a
+    // permutation, not a clone.
+    assert_ne!(
+        serde_json::to_string(&full[0]).unwrap(),
+        serde_json::to_string(&full[2]).unwrap(),
+        "rotation must permute per-flow AF outcomes"
+    );
+}
+
+#[test]
 fn perturbing_one_conditioner_row_breaks_the_merge() {
     // The negative contract: clustering must never merge specs that are
     // not provably symmetric. Nudge a single conditioner row of one

@@ -220,6 +220,91 @@ fn shaping_is_never_worse_on_the_committed_pairs() {
 }
 
 #[test]
+fn abr_ladder_decisions_are_dilation_invariant() {
+    // The ABR policy is a pure function of (buffer, estimate) against
+    // (rungs, step): scaling every rate and every duration by the same
+    // factor k cancels inside both the buffer quotient and the rung
+    // comparison, so the chosen rung is identical — the transport-level
+    // analogue of the chain dilation property, checked exactly.
+    use dsv_stream::abr::AbrPolicy;
+    const K: u64 = 7;
+    let rungs = vec![375_000u64, 750_000, 1_125_000, 1_500_000];
+    let step = 4_000_000u64;
+    let base = AbrPolicy::new(rungs.clone(), step);
+    let dilated = AbrPolicy::new(rungs.iter().map(|r| r / 125).collect(), step * K);
+    // (rungs/125, est/125) scales the rate axis; (step·k, buffer·k)
+    // scales the time axis — independently, as dilation does.
+    for buffer_us in (0..30_000_000u64).step_by(1_371_733) {
+        for est in (0..6_000_000u64).step_by(271_250) {
+            assert_eq!(
+                base.choose(buffer_us, est),
+                dilated.choose(buffer_us * K, est / 125),
+                "dilation changed the rung at buffer {buffer_us} est {est}"
+            );
+        }
+    }
+}
+
+/// Scales an AF scenario in time: committed rates and the bottleneck
+/// down by k, durations (including the extra RTT) up by k.
+fn af_dilated(cfg: &AfTcpConfig, k: u64) -> AfTcpConfig {
+    let mut d = cfg.clone();
+    d.targets_bps = cfg.targets_bps.iter().map(|t| t / k).collect();
+    d.bottleneck_bps = cfg.bottleneck_bps / k;
+    d.rtt_extra_ms = cfg.rtt_extra_ms.iter().map(|r| r * k).collect();
+    d.duration_us = cfg.duration_us * k;
+    d
+}
+
+#[test]
+fn af_guarantee_finding_survives_time_dilation() {
+    // Mini-TCP carries absolute clocks — the 1 s initial RTO, the
+    // 200 ms floor, the 60 s ceiling — so AF runs cannot dilate
+    // *exactly* the way the open-loop chain does. The metamorphic claim
+    // is therefore qualitative: the provisioning verdict (does every
+    // flow collect its committed rate?) is scale-free. An
+    // underprovisioned ladder stays fully honored and a near-capacity
+    // ladder stays broken when the whole scenario runs at half the
+    // rates for twice as long.
+    const K: u64 = 2;
+    let under = AfTcpConfig::new(vec![450_000; 4], vec![0; 4]);
+    for cfg in [under.clone(), af_dilated(&under, K)] {
+        let out = run_af_tcp(&cfg);
+        assert_eq!(
+            out.flows_meeting_target(1.0),
+            4,
+            "underprovisioned verdict must be scale-free"
+        );
+    }
+    let near = AfTcpConfig::new(vec![1_425_000; 4], vec![0; 4]);
+    for cfg in [near.clone(), af_dilated(&near, K)] {
+        let out = run_af_tcp(&cfg);
+        assert_eq!(
+            out.flows_meeting_target(0.95),
+            0,
+            "near-capacity verdict must be scale-free"
+        );
+    }
+}
+
+#[test]
+fn af_achieved_is_monotone_in_committed_rate() {
+    // Two flows share the AF bottleneck; only the first flow's
+    // committed rate grows. Its achieved goodput must not fall — more
+    // green tokens never hurt — while staying a genuine contest (the
+    // competitor keeps a fixed commitment throughout).
+    let mut achieved = Vec::new();
+    for cir in [250_000u64, 1_000_000, 2_000_000] {
+        let out = run_af_tcp(&AfTcpConfig::new(vec![cir, 1_000_000], vec![0, 0]));
+        achieved.push((cir, out.per_flow[0].achieved_bps));
+    }
+    assert!(
+        achieved.windows(2).all(|w| w[1].1 >= w[0].1),
+        "achieved must be monotone in the committed rate: {achieved:?}"
+    );
+}
+
+#[test]
 fn shaping_is_never_worse_live_under_both_backends() {
     // One live pair per backend (the committed pairs above cover the
     // grid; this proves the property is backend-independent).
