@@ -95,6 +95,17 @@ for mode in exact off; do
   git diff --exit-code -- results/
 done
 
+echo "==> qoe gate (DSV_QOE=full byte-identical; proxy bound holds)"
+# The default estimator must be a no-op relative to every committed
+# figure — DSV_QOE=full regenerates all of results/ bit-for-bit. The
+# proxy lane then asserts the committed error bound on the
+# checksum-guarded dataset and feature byte-identity across engine
+# configurations. (Proxy-mode figures are exercised via runner_bench's
+# qoe stage, which never writes committed files.)
+DSV_QOE=full DSV_CACHE=off ./target/release/all_figures > /dev/null
+git diff --exit-code -- results/
+cargo test -q -p dsv-integration --test qoe_proxy --test qoe_features
+
 if [[ "$AUDIT" == 1 ]]; then
   echo "==> audit build"
   cargo build --release -p dsv-bench --features dsv-bench/audit

@@ -1,0 +1,165 @@
+//! Fit the QoE proxy's regression coefficients against full-VQM truth.
+//!
+//! Two stages:
+//!
+//! 1. **Dataset.** Loads `results/findings_qoe_proxy.json` when its
+//!    checksum matches today's grid definitions; otherwise (or under
+//!    `--regen`) simulates every committed grid with full VQM and writes
+//!    the dataset (see `dsv_core::qoe_dataset`).
+//! 2. **Fit.** Ordinary least squares (normal equations + Gaussian
+//!    elimination with partial pivoting — no external solver) of the
+//!    proxy's design vector against the same-encoding and vs-best
+//!    truths, then a per-grid MAE report against both the fresh fit and
+//!    the coefficients currently committed in `dsv_vqm::qoe`.
+//!
+//! The printed arrays are meant to be pasted into `COMMITTED_SAME` /
+//! `COMMITTED_VS_BEST`; the `qoe_proxy` golden suite then pins the
+//! committed bound.
+
+use dsv_core::qoe_dataset::{self, QoeDataset};
+use dsv_vqm::qoe::{ProxyModel, PROXY_MAE_BOUND, PROXY_RIDGE, PROXY_TERMS};
+
+/// Solve `A x = b` for symmetric positive (semi-)definite `A` by
+/// Gaussian elimination with partial pivoting; tiny pivots fall back to
+/// a zero coefficient (a degenerate column predicts nothing rather than
+/// exploding).
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        if a[col][col].abs() < 1e-12 {
+            a[col][col] = 1.0;
+            b[col] = 0.0;
+            a[col][col + 1..].fill(0.0);
+        }
+        for row in col + 1..n {
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            let target = &mut rest[0];
+            let f = target[col] / pivot_row[col];
+            for (t, p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        // Sequential subtraction, not a summed dot product: the committed
+        // coefficient arrays are this exact rounding order's output.
+        let mut acc = b[col];
+        for (aij, xj) in a[col][col + 1..].iter().zip(&x[col + 1..]) {
+            acc -= aij * xj;
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+/// Ridge-regularized least-squares coefficients for
+/// `targets ≈ design · x` (ridge strength [`PROXY_RIDGE`]; the vs-best
+/// target has few observations, and an unregularized fit drives
+/// collinear spline terms to huge cancelling coefficients).
+fn least_squares(design: &[[f64; PROXY_TERMS]], targets: &[f64]) -> [f64; PROXY_TERMS] {
+    assert_eq!(design.len(), targets.len());
+    let mut ata = vec![vec![0.0; PROXY_TERMS]; PROXY_TERMS];
+    let mut atb = vec![0.0; PROXY_TERMS];
+    for (row, &y) in design.iter().zip(targets) {
+        for i in 0..PROXY_TERMS {
+            atb[i] += row[i] * y;
+            for j in 0..PROXY_TERMS {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += PROXY_RIDGE;
+    }
+    let x = solve(ata, atb);
+    let mut out = [0.0; PROXY_TERMS];
+    out.copy_from_slice(&x);
+    out
+}
+
+fn fit(data: &QoeDataset) -> ProxyModel {
+    let mut design_same = Vec::new();
+    let mut truth_same = Vec::new();
+    let mut design_best = Vec::new();
+    let mut truth_best = Vec::new();
+    for grid in &data.grids {
+        for p in &grid.points {
+            let terms = ProxyModel::terms(&p.features);
+            design_same.push(terms);
+            truth_same.push(p.quality);
+            if let Some(q) = p.quality_vs_best {
+                design_best.push(terms);
+                truth_best.push(q);
+            }
+        }
+    }
+    ProxyModel {
+        same: least_squares(&design_same, &truth_same),
+        vs_best: least_squares(&design_best, &truth_best),
+    }
+}
+
+fn report(tag: &str, data: &QoeDataset, model: &ProxyModel) -> f64 {
+    println!("\n== per-grid MAE, {tag} coefficients ==");
+    let mut worst: f64 = 0.0;
+    for (label, mae_same, mae_best) in qoe_dataset::proxy_grid_maes(data, model) {
+        worst = worst.max(mae_same).max(mae_best.unwrap_or(0.0));
+        match mae_best {
+            Some(b) => println!("  {label:<22} same {mae_same:.4}  vs_best {b:.4}"),
+            None => println!("  {label:<22} same {mae_same:.4}"),
+        }
+    }
+    println!(
+        "  worst grid MAE {worst:.4} (committed bound {PROXY_MAE_BOUND}): {}",
+        if worst <= PROXY_MAE_BOUND {
+            "within bound"
+        } else {
+            "EXCEEDS BOUND"
+        }
+    );
+    worst
+}
+
+fn main() {
+    let regen = std::env::args().any(|a| a == "--regen");
+    let data = if regen {
+        qoe_dataset::generate()
+    } else {
+        match std::panic::catch_unwind(qoe_dataset::load) {
+            Ok(data) => data,
+            Err(_) => {
+                eprintln!("[fit_qoe] no usable committed dataset; generating");
+                qoe_dataset::generate()
+            }
+        }
+    };
+    println!(
+        "dataset: {} points across {} grids (config_fnv {})",
+        data.points,
+        data.grids.len(),
+        data.config_fnv
+    );
+
+    let fitted = fit(&data);
+    println!("\npub const COMMITTED_SAME: [f64; PROXY_TERMS] = [");
+    for c in fitted.same {
+        println!("    {c:?},");
+    }
+    println!("];");
+    println!("\npub const COMMITTED_VS_BEST: [f64; PROXY_TERMS] = [");
+    for c in fitted.vs_best {
+        println!("    {c:?},");
+    }
+    println!("];");
+
+    report("freshly fitted", &data, &fitted);
+    report("committed", &data, &ProxyModel::committed());
+}

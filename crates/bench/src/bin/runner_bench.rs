@@ -16,7 +16,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use dsv_core::prelude::*;
-use dsv_core::{artifacts, profile};
+use dsv_core::{artifacts, profile, qoe};
 
 /// Numbers measured at the seed commit (before artifact sharing and the
 /// conditioner-poll fix), kept in the report so the committed baseline
@@ -189,6 +189,8 @@ fn main() {
     shard_scaling(&base, &rates, &depths, points, label, &json_shared, smoke);
 
     cluster_bench(threads, smoke);
+
+    qoe_bench(&base, &rates, &depths, points, label, smoke);
 
     #[cfg(feature = "audit")]
     audit_overhead(&base, &rates, &depths, points, label, &json_shared, smoke);
@@ -474,6 +476,170 @@ fn shard_scaling(
         println!("[audit build: BENCH_shards baseline left untouched]");
     } else {
         dsv_bench::emit_json("BENCH_shards", &report);
+    }
+}
+
+/// Prices the QoE estimator fast path (DESIGN.md §12): the same serial,
+/// shared-artifact, uncached sweep scored three ways.
+///
+/// * **full** — the per-frame VQM default; its score-stage share of the
+///   staged wall time is the cost the proxy removes.
+/// * **proxy** — the committed regression; outcome *values* differ from
+///   full mode (they are estimates), so no byte-identity is asserted
+///   between the two — the accuracy contract lives in the `qoe_proxy`
+///   golden suite, not here.
+/// * **sampled:4 and sampled:1** — must report exactly the proxy's
+///   outcomes (the full-VQM checks are observers feeding the live error
+///   bound), so byte-identity against the proxy run *is* asserted for
+///   both. The sparse run's stats are recorded as-is — a handful of
+///   checks is a noisy draw, not a mean, and may sit above the bound on
+///   a cliff point. The `k = 1` run checks every flow, so its live MAE
+///   *is* the grid's true MAE and is asserted against
+///   [`PROXY_MAE_BOUND`].
+fn qoe_bench(
+    base: &QboneConfig,
+    rates: &[u64],
+    depths: &[u32],
+    points: usize,
+    label: &str,
+    smoke: bool,
+) {
+    #[derive(Serialize)]
+    struct ModeReport {
+        secs: f64,
+        score_secs: f64,
+        /// Score-stage share of the batch's staged (encode + simulate +
+        /// score) wall time.
+        score_share: f64,
+        flows_full_scored: u64,
+        flows_proxy_scored: u64,
+    }
+
+    #[derive(Serialize)]
+    struct SampledReport {
+        k: u64,
+        checked: u64,
+        comparisons: u64,
+        live_mae: Option<f64>,
+        live_max_err: f64,
+        committed_bound: f64,
+        /// A sparse sample is a noisy draw; only the `k = 1` run's MAE
+        /// (every flow checked) is asserted against the bound.
+        mae_within_bound: bool,
+    }
+
+    #[derive(Serialize)]
+    struct QoeBenchReport {
+        grid_points: usize,
+        full: ModeReport,
+        proxy: ModeReport,
+        /// Full-mode score-stage wall time over proxy-mode's.
+        score_stage_speedup: f64,
+        sampled_matches_proxy: bool,
+        sampled_sparse: SampledReport,
+        sampled_every_flow: SampledReport,
+    }
+
+    println!("\nqoe estimators (serial, shared artifacts, no result cache):");
+    let time = |mode: QoeMode| -> (ModeReport, String) {
+        let _scope = qoe::force_mode(mode);
+        qoe::reset();
+        let before = profile::snapshot();
+        let t0 = Instant::now();
+        let sweep = Runner::serial().qbone_sweep(base, rates, depths, label);
+        let dt = t0.elapsed().as_secs_f64();
+        let stages = profile::snapshot().since(&before);
+        let d = qoe::snapshot();
+        let staged = (stages.encode_ns + stages.simulate_ns + stages.score_ns) as f64;
+        let score_secs = stages.score_ns as f64 / 1e9;
+        let score_share = stages.score_ns as f64 / staged.max(1.0);
+        println!(
+            "  {:<12} {dt:7.2} s  (score stage {score_secs:.3} s = {:.1}% of staged time)",
+            mode.label(),
+            100.0 * score_share,
+        );
+        (
+            ModeReport {
+                secs: dt,
+                score_secs,
+                score_share,
+                flows_full_scored: d.full_scored,
+                flows_proxy_scored: d.proxy_scored,
+            },
+            serde_json::to_string(&sweep).expect("serialize"),
+        )
+    };
+
+    let (full, _json_full) = time(QoeMode::Full);
+    let (proxy, json_proxy) = time(QoeMode::Proxy);
+
+    let sampled = |k: u64| -> SampledReport {
+        let (json_sampled, d) = {
+            let _scope = qoe::force_mode(QoeMode::Sampled(k));
+            qoe::reset();
+            let sweep = Runner::serial().qbone_sweep(base, rates, depths, label);
+            (
+                serde_json::to_string(&sweep).expect("serialize"),
+                qoe::snapshot(),
+            )
+        };
+        assert_eq!(
+            json_proxy, json_sampled,
+            "sampled:{k} must report the proxy's outcomes byte for byte"
+        );
+        let live_mae = d.live_mae();
+        println!(
+            "  sampled:{k}    {} of {} flows checked, live MAE {} (bound {PROXY_MAE_BOUND}), \
+             outcomes byte-identical to proxy ✓",
+            d.sampled_checked,
+            d.proxy_scored,
+            live_mae
+                .map(|m| format!("{m:.4}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+        );
+        SampledReport {
+            k,
+            checked: d.sampled_checked,
+            comparisons: d.sampled_errs,
+            live_mae,
+            live_max_err: d.live_max_err(),
+            committed_bound: PROXY_MAE_BOUND,
+            mae_within_bound: live_mae.is_none_or(|m| m <= PROXY_MAE_BOUND),
+        }
+    };
+    let sparse = sampled(4);
+    let every_flow = sampled(1);
+    if !smoke {
+        assert!(
+            every_flow.mae_within_bound,
+            "grid MAE {:?} (every flow checked) exceeds the committed bound {PROXY_MAE_BOUND}",
+            every_flow.live_mae
+        );
+    }
+
+    let report = QoeBenchReport {
+        grid_points: points,
+        score_stage_speedup: full.score_secs / proxy.score_secs.max(1e-9),
+        full,
+        proxy,
+        sampled_matches_proxy: true,
+        sampled_sparse: sparse,
+        sampled_every_flow: every_flow,
+    };
+    if smoke {
+        let path =
+            std::env::temp_dir().join(format!("BENCH_qoe-smoke-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write smoke qoe report");
+        println!("[smoke qoe report written {}]", path.display());
+        let _ = std::fs::remove_file(&path);
+    } else if cfg!(feature = "audit") {
+        println!("[audit build: BENCH_qoe baseline left untouched]");
+    } else {
+        dsv_bench::emit_json("BENCH_qoe", &report);
     }
 }
 

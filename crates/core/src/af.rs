@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use crate::artifacts::{self, ArtifactStore, Codec};
-use crate::experiment::{run_horizon, score_run_shared, RunOutcome};
+use crate::experiment::{run_horizon, RunOutcome};
 use crate::profile;
 use crate::qbone::{ClipId2, CodecSpec};
 
@@ -204,6 +204,12 @@ pub fn af_spec(cfg: &AfConfig) -> ScenarioSpec {
 
 /// Run one AF streaming session and score it.
 pub fn run_af(cfg: &AfConfig) -> RunOutcome {
+    run_af_detailed(cfg).0
+}
+
+/// [`run_af`], also returning the raw client report (delivery detail and
+/// the flow features the QoE proxy consumes).
+pub fn run_af_detailed(cfg: &AfConfig) -> (RunOutcome, dsv_stream::client::ClientReport) {
     let clip_id: ClipId = cfg.clip.into();
     let t_artifacts = Instant::now();
     artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
@@ -240,9 +246,10 @@ pub fn run_af(cfg: &AfConfig) -> RunOutcome {
     let reference = artifacts::reference_features(clip_id, Codec::Mpeg1, cfg.encoding_bps);
     profile::add_encode(t_features.elapsed());
     let t_score = Instant::now();
-    let (same, _) = score_run_shared(&source, &reference, &report, None);
+    let score = crate::qoe::score_session(&source, &reference, &report, None);
     profile::add_score(t_score.elapsed());
-    RunOutcome::assemble(&report, &media, &same, None, 0, 0, false)
+    let outcome = RunOutcome::assemble(&report, &media, &score, 0, 0, false);
+    (outcome, report)
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ use dsv_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::artifacts::{self, ArtifactStore, Codec};
-use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
+use crate::experiment::{run_horizon, EfProfile, RunOutcome};
 use crate::profile;
 use crate::qbone::{ClipId2, CodecSpec};
 
@@ -302,6 +302,14 @@ pub fn from_canonical_order(canon_out: &AggregateOutcome, rank: &[usize]) -> Agg
 
 /// Run one aggregate session and score every flow.
 pub fn run_aggregate(cfg: &AggregateConfig) -> AggregateOutcome {
+    run_aggregate_detailed(cfg).0
+}
+
+/// [`run_aggregate`], also returning every flow's raw client report
+/// (per-flow features for the QoE proxy dataset), in flow-label order.
+pub fn run_aggregate_detailed(
+    cfg: &AggregateConfig,
+) -> (AggregateOutcome, Vec<dsv_stream::client::ClientReport>) {
     let clip_id: ClipId = cfg.clip.into();
     let t_artifacts = Instant::now();
     artifacts::encoding(clip_id, Codec::Mpeg1, cfg.encoding_bps);
@@ -353,18 +361,19 @@ pub fn run_aggregate(cfg: &AggregateConfig) -> AggregateOutcome {
     let reference = artifacts::reference_features(clip_id, Codec::Mpeg1, cfg.encoding_bps);
     profile::add_encode(t_features.elapsed());
     let t_score = Instant::now();
-    let per_flow = clients
+    let (per_flow, reports) = clients
         .iter()
         .enumerate()
         .map(|(i, handle)| {
             let report = handle.borrow().report();
             let media = sim.net.stats.flow(AggregateConfig::media_flow(i as u32));
-            let (same, _) = score_run_shared(&source, &reference, &report, None);
-            RunOutcome::assemble(&report, &media, &same, None, 0, 0, false)
+            let score = crate::qoe::score_session(&source, &reference, &report, None);
+            let outcome = RunOutcome::assemble(&report, &media, &score, 0, 0, false);
+            (outcome, report)
         })
-        .collect();
+        .unzip();
     profile::add_score(t_score.elapsed());
-    AggregateOutcome { per_flow }
+    (AggregateOutcome { per_flow }, reports)
 }
 
 #[cfg(test)]

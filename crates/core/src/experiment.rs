@@ -7,6 +7,7 @@ use dsv_media::scene::{ClipId, SceneModel};
 use dsv_net::stats::FlowCounters;
 use dsv_sim::SimDuration;
 use dsv_stream::client::ClientReport;
+use dsv_vqm::qoe::QoeEstimate;
 use dsv_vqm::{Vqm, VqmResult};
 use serde::{Deserialize, Serialize};
 
@@ -69,20 +70,20 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Assemble from the pieces every testbed produces.
-    #[allow(clippy::too_many_arguments)]
+    /// Assemble from the pieces every testbed produces. The quality
+    /// fields come from whichever estimator [`crate::qoe::score_session`]
+    /// dispatched to; everything else is transport-level fact.
     pub fn assemble(
         report: &ClientReport,
         media_flow: &FlowCounters,
-        vqm_same: &VqmResult,
-        vqm_vs_best: Option<&VqmResult>,
+        score: &QoeEstimate,
         shaper_drops: u64,
         collapses: u32,
         broken: bool,
     ) -> RunOutcome {
         RunOutcome {
-            quality: vqm_same.overall,
-            quality_vs_best: vqm_vs_best.map(|v| v.overall),
+            quality: score.quality,
+            quality_vs_best: score.quality_vs_best,
             frame_loss: report.frame_loss_fraction(),
             packet_loss: media_flow.loss_fraction(),
             policer_drops: media_flow.drops_for(dsv_net::packet::DropReason::PolicerNonConformant),
@@ -91,7 +92,7 @@ impl RunOutcome {
             rx_packets: media_flow.rx_packets,
             mean_delay_ms: media_flow.delay.mean().as_millis_f64(),
             longest_freeze: report.playback.longest_freeze,
-            failed_segments: vqm_same.failed_segments,
+            failed_segments: score.failed_segments,
             collapses,
             broken,
         }

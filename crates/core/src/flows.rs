@@ -10,6 +10,12 @@
 //! indexed by flow label and bridges symmetry classes through canonical
 //! rank maps, so the runner's cache and exact-cluster transplants work
 //! unchanged (see [`to_canonical_order`] / [`from_canonical_order`]).
+//!
+//! Because these outcomes are never VQM-scored, the `DSV_QOE` estimator
+//! choice (see [`crate::qoe`]) deliberately does **not** enter a
+//! `FlowJob`'s cache identity: a transport outcome is the same bytes
+//! under every estimator, so stamping the mode would only orphan cache
+//! entries.
 
 use serde::{Deserialize, Serialize};
 

@@ -35,6 +35,8 @@ pub mod keys;
 pub mod local;
 pub mod profile;
 pub mod qbone;
+pub mod qoe;
+pub mod qoe_dataset;
 pub mod report;
 pub mod runner;
 pub mod smoothing;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use crate::local::{run_local, run_local_detailed, LocalConfig, LocalTransport};
     pub use crate::profile::ProfileSnapshot;
     pub use crate::qbone::{run_qbone, run_qbone_detailed, ClipId2, QboneConfig, QboneServer};
+    pub use crate::qoe::{force_mode, score_session, QoeMode, QoeSnapshot, PROXY_MAE_BOUND};
     pub use crate::report::{format_sweep, format_table, table4_summary};
     pub use crate::runner::{ClusterMode, ClusterPoint, FlowJob, Job, PointSource, Runner};
     pub use crate::smoothing::{run_smoothing, SmoothingConfig, SmoothingServer};

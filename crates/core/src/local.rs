@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use crate::artifacts::{self, ArtifactStore, Codec};
-use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
+use crate::experiment::{run_horizon, EfProfile, RunOutcome};
 use crate::profile;
 use crate::qbone::{ClipId2, CodecSpec};
 
@@ -312,17 +312,9 @@ pub fn run_local_detailed(cfg: &LocalConfig) -> (RunOutcome, dsv_stream::client:
     let reference = artifacts::reference_features(clip_id, Codec::Wmv, cfg.cap_bps);
     profile::add_encode(t_features.elapsed());
     let t_score = Instant::now();
-    let (same, _) = score_run_shared(&source, &reference, &report, None);
+    let score = crate::qoe::score_session(&source, &reference, &report, None);
     profile::add_score(t_score.elapsed());
-    let outcome = RunOutcome::assemble(
-        &report,
-        &media,
-        &same,
-        None,
-        shaper_drops,
-        collapses,
-        broken,
-    );
+    let outcome = RunOutcome::assemble(&report, &media, &score, shaper_drops, collapses, broken);
     (outcome, report)
 }
 

@@ -29,7 +29,7 @@ use dsv_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::artifacts::{self, ArtifactStore, Codec};
-use crate::experiment::{run_horizon, score_run_shared, EfProfile, RunOutcome};
+use crate::experiment::{run_horizon, EfProfile, RunOutcome};
 use crate::profile;
 
 /// Flow id of the media stream.
@@ -308,14 +308,14 @@ pub fn run_qbone_detailed(cfg: &QboneConfig) -> (RunOutcome, dsv_stream::client:
     };
     profile::add_encode(t_features.elapsed());
     let t_score = Instant::now();
-    let (same, vs_best) = score_run_shared(
+    let score = crate::qoe::score_session(
         &source,
         &reference,
         &report,
         best_features.as_ref().map(|a| a.as_slice()),
     );
     profile::add_score(t_score.elapsed());
-    let outcome = RunOutcome::assemble(&report, &media, &same, vs_best.as_ref(), 0, 0, false);
+    let outcome = RunOutcome::assemble(&report, &media, &score, 0, 0, false);
     (outcome, report)
 }
 

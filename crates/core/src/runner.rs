@@ -150,7 +150,10 @@ impl Job {
     /// identity, by construction: one module computes both.
     pub(crate) fn cache_json(&self) -> String {
         let (spec, scoring) = self.spec_scoring();
-        keys::canonical_address(&spec, scoring)
+        // A non-default `DSV_QOE` estimator changes outcome values, so it
+        // is part of the identity; full mode stamps nothing, keeping
+        // every historical address byte-identical.
+        keys::canonical_address(&spec, crate::qoe::stamp_scoring(scoring))
     }
 
     /// Run the experiment this job describes.
@@ -383,6 +386,10 @@ struct Progress {
     policer_drops: AtomicU64,
     queue_drops: AtomicU64,
     shaper_drops: AtomicU64,
+    /// QoE counter totals when the batch started; the line shows the
+    /// delta, so concurrent batches only ever over-attribute, never
+    /// double-print.
+    qoe_start: crate::qoe::QoeSnapshot,
     start: Instant,
     enabled: bool,
 }
@@ -400,6 +407,7 @@ impl Progress {
             policer_drops: AtomicU64::new(0),
             queue_drops: AtomicU64::new(0),
             shaper_drops: AtomicU64::new(0),
+            qoe_start: crate::qoe::snapshot(),
             start: Instant::now(),
             enabled,
         }
@@ -460,11 +468,13 @@ impl Progress {
             Some(secs) => format!("{secs:.0}s"),
             None => "?".to_string(),
         };
+        let qoe = qoe_progress_segment(&crate::qoe::snapshot().since(&self.qoe_start))
+            .unwrap_or_default();
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
             "\r[runner] {done}/{} points ({} simulated, {cached} cached, {reused} reused, \
-             {interpolated} interpolated) | {rate:.2} sims/s | ETA {eta} | \
+             {interpolated} interpolated) | {rate:.2} sims/s | ETA {eta}{qoe} | \
              drops: policer {}, queue {}, shaper {}",
             self.total,
             sims_done.saturating_sub(cached),
@@ -483,6 +493,26 @@ impl Progress {
             self.print(self.done.load(Ordering::Relaxed), true);
         }
     }
+}
+
+/// The estimator-mix segment of a progress line, from the batch's QoE
+/// counter delta: how many flows the proxy scored, how many full VQM
+/// scored, and how many proxy scores were sampled-checked (with the live
+/// error bound once checks have landed). `None` — print nothing — when
+/// every score came from full VQM, so the default mode's line is
+/// byte-identical to what it always printed.
+fn qoe_progress_segment(d: &crate::qoe::QoeSnapshot) -> Option<String> {
+    if d.proxy_scored == 0 && d.sampled_checked == 0 {
+        return None;
+    }
+    let mut seg = format!(
+        " | qoe: {} proxy, {} full, {} checked",
+        d.proxy_scored, d.full_scored, d.sampled_checked
+    );
+    if let Some(mae) = d.live_mae() {
+        seg.push_str(&format!(" (live MAE {mae:.4})"));
+    }
+    Some(seg)
 }
 
 /// Throughput and remaining-time estimate for a progress line.
@@ -1238,10 +1268,12 @@ const AGGREGATE_KIND: &str = "aggregate";
 /// The scoring parameters of an aggregate run (its cache address pairs
 /// these with the canonical spec).
 fn aggregate_scoring(cfg: &AggregateConfig) -> Value {
-    Value::Object(vec![
+    // Stamped like `Job::cache_json`: a non-default QoE estimator is part
+    // of the identity (full mode adds nothing).
+    crate::qoe::stamp_scoring(Value::Object(vec![
         ("clip".to_string(), cfg.clip.to_value()),
         ("encoding_bps".to_string(), cfg.encoding_bps.to_value()),
-    ])
+    ]))
 }
 
 /// Parse a `DSV_CLUSTER` value; unrecognized input warns on stderr and
@@ -1776,6 +1808,44 @@ mod tests {
         assert!((eta_sims.unwrap() - 10.0).abs() < 1e-12);
         let (_, eta_points) = throughput_eta(10, 40, 5.0);
         assert!(eta_points.unwrap() > eta_sims.unwrap());
+    }
+
+    #[test]
+    fn progress_qoe_segment_counts_estimators_not_points() {
+        use crate::qoe::QoeSnapshot;
+        // The default full-VQM path adds nothing: the progress line must
+        // stay byte-identical to what it printed before the estimator
+        // split existed.
+        let full_only = QoeSnapshot {
+            full_scored: 24,
+            ..QoeSnapshot::default()
+        };
+        assert_eq!(qoe_progress_segment(&full_only), None);
+        assert_eq!(qoe_progress_segment(&QoeSnapshot::default()), None);
+        // A proxy batch reports the estimator mix; no checks yet, so no
+        // live bound to print.
+        let proxy = QoeSnapshot {
+            proxy_scored: 24,
+            ..QoeSnapshot::default()
+        };
+        assert_eq!(
+            qoe_progress_segment(&proxy).unwrap(),
+            " | qoe: 24 proxy, 0 full, 0 checked"
+        );
+        // A sampled batch adds the live MAE once comparisons land:
+        // 3 checks, 6 comparisons, 0.012 total error -> MAE 0.002.
+        let sampled = QoeSnapshot {
+            proxy_scored: 24,
+            sampled_checked: 3,
+            sampled_errs: 6,
+            err_sum_micro: 12_000,
+            err_max_micro: 5_000,
+            ..QoeSnapshot::default()
+        };
+        assert_eq!(
+            qoe_progress_segment(&sampled).unwrap(),
+            " | qoe: 24 proxy, 0 full, 3 checked (live MAE 0.0020)"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod app;
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod conditioner;
+pub mod features;
 pub mod frame_relay;
 pub mod histogram;
 pub mod link;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::conditioner::{
         ConditionOutcome, Conditioner, PassThrough, QuickVerdict, Released,
     };
+    pub use crate::features::{FeatureExtractor, FlowFeatures};
     pub use crate::frame_relay::{FrInterfaceType, FrameRelayProfile};
     pub use crate::histogram::DurationHistogram;
     pub use crate::link::Link;

@@ -378,6 +378,7 @@ impl AppBuilder<'_> {
                     playback: PlaybackConfig::default(),
                     feedback_interval: feedback_us.map(SimDuration::from_micros),
                     mode,
+                    media_rate_bps: media.rate_bps,
                 }));
                 self.clients.push((name.to_string(), h));
                 Box::new(app)

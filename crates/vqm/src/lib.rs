@@ -25,6 +25,7 @@
 
 pub mod calibration;
 pub mod params;
+pub mod qoe;
 pub mod score;
 
 use dsv_media::features::FeatureFrame;

@@ -1,0 +1,116 @@
+//! The QoE proxy's error-bound contract (DESIGN.md §12).
+//!
+//! Three layers, all anchored to the committed dataset
+//! `results/findings_qoe_proxy.json`:
+//!
+//! 1. the dataset itself is checksum-guarded against today's grid
+//!    definitions (stale truth fails loudly, like every golden);
+//! 2. the committed [`ProxyModel`] coefficients keep their mean absolute
+//!    error within [`PROXY_MAE_BOUND`] on **every** committed grid, for
+//!    both the same-encoding and vs-best targets;
+//! 3. a live `sampled:<k>` run reproduces the committed features
+//!    byte-for-byte and reports a live error bound consistent with the
+//!    committed one.
+
+use dsv_core::prelude::*;
+use dsv_core::qoe::{self, QoeMode};
+use dsv_core::qoe_dataset;
+use dsv_vqm::qoe::{ProxyModel, COMMITTED_SAME, COMMITTED_VS_BEST, PROXY_MAE_BOUND};
+
+#[test]
+fn committed_dataset_matches_todays_grid_definitions() {
+    // load() panics on a missing, unparseable, or stale file.
+    let data = qoe_dataset::load();
+    assert_eq!(data.grids.len(), 13, "one entry per committed grid");
+    let total: usize = data.grids.iter().map(|g| g.points.len()).sum();
+    assert_eq!(total, data.points, "redundant total is consistent");
+    assert_eq!(
+        data.points, 308,
+        "296 simulations, aggregates contributing one record per flow"
+    );
+    for grid in &data.grids {
+        assert!(!grid.points.is_empty(), "empty grid {}", grid.label);
+    }
+}
+
+#[test]
+fn proxy_mae_within_committed_bound_on_every_grid() {
+    // Guard against placeholder coefficients sneaking into a commit.
+    assert!(COMMITTED_SAME.iter().any(|&c| c != 0.0));
+    assert!(COMMITTED_VS_BEST.iter().any(|&c| c != 0.0));
+
+    let data = qoe_dataset::load();
+    let model = ProxyModel::committed();
+    for (label, mae_same, mae_vs_best) in qoe_dataset::proxy_grid_maes(&data, &model) {
+        assert!(
+            mae_same <= PROXY_MAE_BOUND,
+            "grid {label}: same-encoding MAE {mae_same:.4} exceeds the \
+             committed bound {PROXY_MAE_BOUND}"
+        );
+        if let Some(mae) = mae_vs_best {
+            assert!(
+                mae <= PROXY_MAE_BOUND,
+                "grid {label}: vs-best MAE {mae:.4} exceeds the committed \
+                 bound {PROXY_MAE_BOUND}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_mode_live_bound_agrees_with_committed_dataset() {
+    let data = qoe_dataset::load();
+    let af = data
+        .grids
+        .iter()
+        .find(|g| g.label == "af_phb")
+        .expect("af_phb grid committed");
+
+    // The first two AF ablation configs, exactly as the dataset defines
+    // them (cheap enough for a debug-mode simulation).
+    let cfgs: Vec<AfConfig> = [(0u64, 0u64), (1_000_000, 500_000)]
+        .iter()
+        .map(|&(load, cir)| {
+            let mut cfg = AfConfig::new(ClipId2::Lost, 1_500_000, load);
+            cfg.cross_cir_bps = cir;
+            cfg
+        })
+        .collect();
+
+    let before = qoe::snapshot();
+    let scope = force_mode(QoeMode::Sampled(1));
+    for (i, cfg) in cfgs.iter().enumerate() {
+        let (out, report) = dsv_core::af::run_af_detailed(cfg);
+        let point = &af.points[i];
+        // The event-path extractor reproduces the committed features
+        // byte-for-byte...
+        assert_eq!(
+            report.features.canonical_bytes(),
+            point.features.canonical_bytes(),
+            "af point {i}: live features diverge from the committed dataset"
+        );
+        // ...and the reported score is the committed proxy's prediction.
+        assert_eq!(
+            out.quality,
+            ProxyModel::committed().predict_same(&point.features),
+            "af point {i}: sampled mode must report the proxy estimate"
+        );
+    }
+    drop(scope);
+
+    let delta = qoe::snapshot().since(&before);
+    assert_eq!(delta.proxy_scored, 2, "both flows proxy-scored");
+    assert_eq!(delta.sampled_checked, 2, "sampled:1 checks every flow");
+    assert_eq!(delta.sampled_errs, 2, "one comparison per reference");
+    assert_eq!(delta.full_scored, 0, "checks do not count as full scoring");
+    let live_mae = delta.live_mae().expect("comparisons ran");
+    assert!(
+        live_mae <= PROXY_MAE_BOUND,
+        "live MAE {live_mae:.4} violates the committed bound {PROXY_MAE_BOUND}"
+    );
+    assert!(
+        delta.live_max_err() <= PROXY_MAE_BOUND,
+        "live max error {:.4} violates the committed bound {PROXY_MAE_BOUND}",
+        delta.live_max_err()
+    );
+}

@@ -70,6 +70,7 @@ mod legacy {
             playback: PlaybackConfig::default(),
             feedback_interval: None,
             mode: ClientMode::Udp,
+            media_rate_bps: cfg.encoding_bps,
         }));
         let client = b.add_host("client", Box::new(client_app));
         let local_edge = b.add_router("local-edge");
@@ -185,6 +186,7 @@ mod legacy {
             playback: PlaybackConfig::default(),
             feedback_interval: feedback,
             mode: client_mode,
+            media_rate_bps: cfg.cap_bps,
         }));
 
         let client = b.add_host("client", Box::new(client_app));
@@ -308,8 +310,8 @@ fn score_qbone(
     let media = sim.net.stats.flow(MEDIA_FLOW);
     let source = artifacts::source_features(clip_id);
     let reference = artifacts::reference_features(clip_id, Codec::Mpeg1, cfg.encoding_bps);
-    let (same, _) = score_run_shared(&source, &reference, &report, None);
-    RunOutcome::assemble(&report, &media, &same, None, 0, 0, false)
+    let score = dsv_core::qoe::score_session(&source, &reference, &report, None);
+    RunOutcome::assemble(&report, &media, &score, 0, 0, false)
 }
 
 /// Score a finished local session exactly as `run_local` does.
@@ -331,16 +333,8 @@ fn score_local(
         .unwrap_or((0, false));
     let source = artifacts::source_features(clip_id);
     let reference = artifacts::reference_features(clip_id, Codec::Wmv, cfg.cap_bps);
-    let (same, _) = score_run_shared(&source, &reference, &report, None);
-    RunOutcome::assemble(
-        &report,
-        &media,
-        &same,
-        None,
-        shaper_drops,
-        collapses,
-        broken,
-    )
+    let score = dsv_core::qoe::score_session(&source, &reference, &report, None);
+    RunOutcome::assemble(&report, &media, &score, shaper_drops, collapses, broken)
 }
 
 fn json(outcome: &RunOutcome) -> String {
